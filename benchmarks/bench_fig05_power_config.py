@@ -1,0 +1,18 @@
+"""Fig. 5 — the 2CPM power configuration used throughout the evaluation."""
+
+from repro.experiments import figures
+from repro.power.profile import PAPER_EVAL
+
+
+def test_fig05_power_config(benchmark, show):
+    text = benchmark.pedantic(figures.fig5, rounds=1, iterations=1)
+    show(text)
+    # The calibration constraints the profile must satisfy (see DESIGN.md):
+    # standby draws far less than idle (the paper's premise)...
+    assert PAPER_EVAL.standby_power < PAPER_EVAL.idle_power / 4
+    # ...the spin-up penalty matches the paper's 5-15 s band (Fig. 12)...
+    assert 5.0 <= PAPER_EVAL.spin_up_time <= 15.0
+    # ...and the breakeven threshold is the 2CPM one.
+    assert PAPER_EVAL.breakeven_time * PAPER_EVAL.idle_power == (
+        PAPER_EVAL.transition_energy
+    )

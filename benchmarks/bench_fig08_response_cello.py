@@ -1,0 +1,32 @@
+"""Fig. 8 — mean request response time vs replication factor (Cello).
+
+Paper shape: Heuristic and WSC beat Static and Random (fewer spin-up
+delays); WSC sits above Heuristic (batch queueing delay); replication
+helps the energy-aware schedulers. MWIS is omitted (offline model).
+"""
+
+from repro.experiments import figures
+from repro.experiments.common import SCHEDULER_LABELS
+
+
+def test_fig08_mean_response_cello(benchmark, show):
+    result = benchmark.pedantic(figures.fig8, rounds=1, iterations=1)
+    show(result.render())
+    series = result.series
+    static = series[SCHEDULER_LABELS["static"]]
+    random_ = series[SCHEDULER_LABELS["random"]]
+    heuristic = series[SCHEDULER_LABELS["heuristic"]]
+    wsc = series[SCHEDULER_LABELS["wsc"]]
+
+    # At replication >= 3 the energy-aware schedulers respond faster than
+    # the baselines (the paper's 38.7%-reduction headline for WSC at rf=3).
+    for index in (2, 3, 4):
+        assert heuristic[index] < static[index]
+        assert wsc[index] < static[index]
+        assert heuristic[index] < random_[index]
+
+    # WSC pays the batch queueing delay over Heuristic.
+    assert wsc[-1] >= heuristic[-1]
+
+    # Replication improves the Heuristic's responsiveness.
+    assert heuristic[-1] < heuristic[0]

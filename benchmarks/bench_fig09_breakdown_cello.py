@@ -1,0 +1,44 @@
+"""Fig. 9 — per-disk state-time breakdown at replication 3 (Cello).
+
+Paper shape: under Random most disks are idle most of the time (requests
+scattered, little standby); Static shows skew-driven standby on the cold
+disks; WSC pushes more disks into standby than either baseline; active
+time is <1% everywhere (I/O is ms-scale).
+"""
+
+from repro.experiments import figures
+from repro.power.states import DiskPowerState
+
+
+def aggregate(panels, label, state):
+    fractions = panels[label]
+    return sum(f[state] for f in fractions) / len(fractions)
+
+
+def test_fig09_state_breakdown_cello(benchmark, show):
+    result = benchmark.pedantic(figures.fig9, rounds=1, iterations=1)
+    show(result.render())
+    panels = result.panels
+
+    random_label = "Random"
+    static_label = "Static"
+    wsc_label = "Energy-aware WSC(batch 0.1s)"
+    mwis_label = "Energy-aware MWIS(offline)"
+
+    # Active time is negligible everywhere (paper: "<1%, hardly visible").
+    for label in panels:
+        assert aggregate(panels, label, DiskPowerState.ACTIVE) < 0.02
+
+    # WSC achieves more standby than Random and Static.
+    wsc_standby = aggregate(panels, wsc_label, DiskPowerState.STANDBY)
+    assert wsc_standby > aggregate(panels, random_label, DiskPowerState.STANDBY)
+    assert wsc_standby >= aggregate(panels, static_label, DiskPowerState.STANDBY)
+
+    # MWIS (offline, at its own scale) pushes standby hardest.
+    mwis_standby = aggregate(panels, mwis_label, DiskPowerState.STANDBY)
+    assert mwis_standby >= wsc_standby - 0.1
+
+    # Random keeps disks spinning: its idle share dominates its standby.
+    assert aggregate(panels, random_label, DiskPowerState.IDLE) > aggregate(
+        panels, random_label, DiskPowerState.STANDBY
+    )

@@ -1,0 +1,36 @@
+"""Fig. 11 — the Heuristic cost-function trade-off (Cello, rf=3).
+
+Paper shape: raising alpha (weighting energy) cuts energy and raises
+response time, both normalised to the alpha=0 run; small beta makes the
+energy term dominate sooner (curves shift toward the alpha=1 corner),
+large beta shifts everything toward the alpha=0 corner. The paper settles
+on alpha=0.2, beta=100 as the balanced operating point.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_cost_function_tradeoff(benchmark, show):
+    energy, response = benchmark.pedantic(
+        figures.fig11, rounds=1, iterations=1
+    )
+    show(energy.render())
+    show(response.render())
+
+    for beta_label, values in energy.series.items():
+        # Normalised to alpha=0.
+        assert values[0] == 1.0
+        # Energy at alpha=1 is no higher than at alpha=0...
+        assert values[-1] <= 1.0 + 1e-9
+
+    # ...and for the small betas the drop is substantial (paper: >35%
+    # with their configuration; exact depth depends on the profile).
+    assert energy.series["beta=1"][-1] < 0.9
+
+    # Response time rises when energy dominates the cost.
+    for beta_label, values in response.series.items():
+        assert values[-1] >= values[0] - 0.05
+
+    # Larger beta = less energy weight = higher energy at a given alpha.
+    mid = len(energy.x_values) // 2
+    assert energy.series["beta=1000"][mid] >= energy.series["beta=1"][mid] - 0.02

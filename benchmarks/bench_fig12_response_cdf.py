@@ -1,0 +1,37 @@
+"""Fig. 12 — inverse CDF of response time at replication 3 (Cello).
+
+Paper shape: the majority of requests finish within ~100 ms under every
+schedule; under 2CPM a small tail (about a percent) waits out the full
+spin-up delay; the always-on configuration (and the offline MWIS model)
+has no such tail.
+"""
+
+from repro.experiments import figures
+from repro.experiments.common import SCHEDULER_LABELS
+
+
+def test_fig12_response_inverse_cdf(benchmark, show):
+    result = benchmark.pedantic(figures.fig12, rounds=1, iterations=1)
+    show(result.render())
+    thresholds = list(result.x_values)
+
+    def prob_at(label, x):
+        return result.series[label][thresholds.index(x)]
+
+    # Always-on: no spin-up tail at all beyond 1 s (only queueing noise).
+    assert prob_at("Always-on", 10.0) < 0.001
+
+    # 2CPM schedules have a visible but small tail beyond 10 s.
+    static_tail = prob_at(SCHEDULER_LABELS["static"], 10.0)
+    assert 0.0 < static_tail < 0.2
+
+    # The energy-aware Heuristic shrinks that tail.
+    heuristic_tail = prob_at(SCHEDULER_LABELS["heuristic"], 10.0)
+    assert heuristic_tail <= static_tail
+
+    # The bulk of requests are fast in every schedule: at 100 ms most
+    # requests have completed for the always-on config...
+    assert prob_at("Always-on", 0.1) < 0.35
+    # ...and no 2CPM tail survives past the max spin-up + queue horizon.
+    for label, values in result.series.items():
+        assert values[-1] < 0.25

@@ -1,0 +1,28 @@
+"""Fig. 13 — 90th-percentile response time vs replication factor (Cello).
+
+Paper shape: always-on stays at pure service time (~10 ms); WSC is the
+highest (its batch interval adds queueing delay to every request) but
+improves with replication; the Heuristic converges toward the service
+floor as replication grows.
+"""
+
+from repro.experiments import figures
+from repro.experiments.common import SCHEDULER_LABELS
+
+
+def test_fig13_p90_response(benchmark, show):
+    result = benchmark.pedantic(figures.fig13, rounds=1, iterations=1)
+    show(result.render())
+    always_on = result.series["Always-on"]
+    heuristic = result.series[SCHEDULER_LABELS["heuristic"]]
+    wsc = result.series[SCHEDULER_LABELS["wsc"]]
+
+    # Always-on p90 is flat (same value repeated).
+    assert len(set(always_on)) == 1
+
+    # WSC's p90 includes the batch queueing delay: above Heuristic's.
+    assert wsc[-1] >= heuristic[-1]
+
+    # Replication does not hurt the energy-aware schedulers' p90.
+    assert heuristic[-1] <= heuristic[0] * 1.5 + 1.0
+    assert wsc[-1] <= wsc[0] * 1.5 + 1.0

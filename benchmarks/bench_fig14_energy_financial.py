@@ -1,0 +1,27 @@
+"""Fig. 14 — energy consumption vs replication factor (Financial1).
+
+Paper: "the results are quite similar with the ones with the Cello trace"
+— the same Fig. 6 shape on the steadier OLTP-like workload.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.common import SCHEDULER_LABELS
+
+
+def test_fig14_energy_vs_replication_financial(benchmark, show):
+    result = benchmark.pedantic(figures.fig14, rounds=1, iterations=1)
+    show(result.render())
+    series = result.series
+    static = series[SCHEDULER_LABELS["static"]]
+    random_ = series[SCHEDULER_LABELS["random"]]
+    heuristic = series[SCHEDULER_LABELS["heuristic"]]
+    wsc = series[SCHEDULER_LABELS["wsc"]]
+
+    assert static[0] == pytest.approx(random_[0], rel=0.02)
+    assert max(static) - min(static) < 0.05
+    assert random_[-1] > 0.9
+    for values in (heuristic, wsc):
+        assert values[-1] < values[0] - 0.15
+    assert wsc[-1] < static[-1] * 0.8

@@ -1,0 +1,25 @@
+"""Fig. 15 — spin-up/down operations vs replication factor (Financial1)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.common import SCHEDULER_LABELS
+
+
+def test_fig15_spin_operations_financial(benchmark, show):
+    result = benchmark.pedantic(figures.fig15, rounds=1, iterations=1)
+    show(result.render())
+    series = result.series
+    static = series[SCHEDULER_LABELS["static"]]
+    heuristic = series[SCHEDULER_LABELS["heuristic"]]
+    wsc = series[SCHEDULER_LABELS["wsc"]]
+    mwis = series[SCHEDULER_LABELS["mwis"]]
+
+    assert all(v == pytest.approx(1.0) for v in static)
+    assert heuristic[-1] < 0.85
+    assert wsc[-1] < 0.85
+    # MWIS spins far less than Static at every replication factor; at
+    # rf=1 (no scheduling choice for anyone) it is the only scheduler
+    # below 1.0 — the offline model's no-wasted-spin-down property.
+    assert mwis[0] < 0.9
+    assert all(v < 0.8 for v in mwis[1:])

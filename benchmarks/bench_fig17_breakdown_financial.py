@@ -1,0 +1,24 @@
+"""Fig. 17 — per-disk state-time breakdown at replication 3 (Financial1)."""
+
+from repro.experiments import figures
+from repro.power.states import DiskPowerState
+
+
+def aggregate(panels, label, state):
+    fractions = panels[label]
+    return sum(f[state] for f in fractions) / len(fractions)
+
+
+def test_fig17_state_breakdown_financial(benchmark, show):
+    result = benchmark.pedantic(figures.fig17, rounds=1, iterations=1)
+    show(result.render())
+    panels = result.panels
+
+    for label in panels:
+        assert aggregate(panels, label, DiskPowerState.ACTIVE) < 0.02
+
+    wsc_standby = aggregate(
+        panels, "Energy-aware WSC(batch 0.1s)", DiskPowerState.STANDBY
+    )
+    assert wsc_standby > aggregate(panels, "Random", DiskPowerState.STANDBY)
+    assert wsc_standby >= aggregate(panels, "Static", DiskPowerState.STANDBY)

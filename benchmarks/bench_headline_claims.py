@@ -1,0 +1,34 @@
+"""The paper's abstract, asserted.
+
+"Our evaluation results using two realistic traces show that our approach
+significantly reduces energy consumption up to 55% and achieves fewer
+disk spin-up/down operations and shorter request response time as
+compared to other approaches."
+"""
+
+from repro.experiments.headline import headline_claims
+
+
+def test_headline_claims_cello(benchmark, show):
+    claims = benchmark.pedantic(
+        lambda: headline_claims("cello"), rounds=1, iterations=1
+    )
+    show(claims.render())
+    # "significantly reduces energy consumption up to 55%" — we require a
+    # best-case cut of at least a third (the paper's simulator and traces
+    # differ; see EXPERIMENTS.md for the level discussion).
+    assert claims.best_energy_reduction > 0.33
+    # "fewer disk spin-up/down operations"
+    assert claims.spin_reduction_vs_static > 0.0
+    # "shorter request response time"
+    assert claims.response_reduction_vs_static > 0.0
+
+
+def test_headline_claims_financial(benchmark, show):
+    claims = benchmark.pedantic(
+        lambda: headline_claims("financial"), rounds=1, iterations=1
+    )
+    show(claims.render())
+    assert claims.best_energy_reduction > 0.33
+    assert claims.spin_reduction_vs_static > 0.0
+    assert claims.response_reduction_vs_static > 0.0

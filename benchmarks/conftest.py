@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_figNN_*.py`` file reproduces one figure of the paper: it runs
+the experiment once (results are memoised across benchmark files, so the
+Cello campaign is simulated a single time for Figs. 6-9 and 12-13), prints
+the figure's series as a table, asserts the paper's qualitative shape, and
+reports wall-clock through pytest-benchmark.
+
+Scale notes: simulated runs default to the paper's full scale (180 disks,
+70 000 requests — seconds per run in this simulator); offline MWIS runs
+default to ``REPRO_MWIS_SCALE`` = 0.15 because its conflict graph at full
+scale is ~1M nodes. Ordering assertions against MWIS are therefore made
+at the MWIS scale (all schedulers re-run there, cheaply).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a figure table through pytest's captured stdout."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+            print()
+
+    return _show

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Tune the Heuristic's cost function (the paper's Appendix A.2 / Fig. 11).
+
+Sweeps alpha (energy weight) for several beta (unit factor) values at
+replication 3 and prints energy and mean response time, both normalised
+to the alpha = 0 run — reproducing the trade-off plot the paper uses to
+justify its alpha=0.2, beta=100 operating point.
+
+Run with::
+
+    python examples/cost_tradeoff.py
+"""
+
+from repro import (
+    CelloLikeConfig,
+    CostFunction,
+    HeuristicScheduler,
+    SimulationConfig,
+    Workload,
+    ZipfOriginalUniformReplicas,
+    generate_cello_like,
+    simulate,
+)
+from repro.analysis.tables import format_series_table
+from repro.power import PAPER_EVAL
+
+NUM_DISKS = 27
+SCALE = 0.15
+ALPHAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+BETAS = (1.0, 100.0, 1000.0)
+
+
+def main() -> None:
+    workload = Workload(
+        generate_cello_like(CelloLikeConfig().scaled(SCALE), seed=1)
+    )
+    requests, catalog = workload.bind(
+        ZipfOriginalUniformReplicas(replication_factor=3),
+        num_disks=NUM_DISKS,
+        seed=11,
+    )
+    config = SimulationConfig(num_disks=NUM_DISKS, profile=PAPER_EVAL)
+
+    energy_series = {}
+    response_series = {}
+    for beta in BETAS:
+        energies = []
+        responses = []
+        for alpha in ALPHAS:
+            scheduler = HeuristicScheduler(
+                CostFunction(alpha=alpha, beta=beta)
+            )
+            report = simulate(requests, catalog, scheduler, config)
+            energies.append(report.total_energy)
+            responses.append(report.mean_response_time)
+        energy_series[f"beta={beta:g}"] = [e / energies[0] for e in energies]
+        response_series[f"beta={beta:g}"] = [
+            r / responses[0] for r in responses
+        ]
+
+    print(
+        format_series_table(
+            "alpha",
+            ALPHAS,
+            energy_series,
+            title="energy, normalised to alpha=0",
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            "alpha",
+            ALPHAS,
+            response_series,
+            title="mean response time, normalised to alpha=0",
+        )
+    )
+    print()
+    print(
+        "reading: raising alpha trades response time for energy; smaller\n"
+        "beta makes the energy term dominate sooner. The paper picks\n"
+        "alpha=0.2, beta=100 as the balanced operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

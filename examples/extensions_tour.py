@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Tour of the extensions the paper sketches but does not evaluate.
+
+Runs, on one workload:
+
+1. the plain energy-aware Heuristic (the paper's online scheduler),
+2. the prediction-augmented Heuristic (Section 3.3's future-work idea),
+3. the covering-subset scheduler (Section 1's Hadoop "Set-Cover" combo),
+4. the Heuristic behind a power-aware block cache (Zhu & Zhou),
+5. write off-loading on a write-heavy variant of the workload
+   (the Section 2.1 write-path assumption, made executable).
+
+Run with::
+
+    python examples/extensions_tour.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    CelloLikeConfig,
+    HeuristicScheduler,
+    SimulationConfig,
+    Workload,
+    ZipfOriginalUniformReplicas,
+    always_on_baseline,
+    generate_cello_like,
+    simulate,
+)
+from repro.analysis.tables import format_table
+from repro.cache import PowerAwareLRUCache
+from repro.core import (
+    CoveringSetScheduler,
+    PredictiveHeuristicScheduler,
+    WriteOffloadingScheduler,
+)
+from repro.power import PAPER_EVAL
+
+NUM_DISKS = 27
+SCALE = 0.15
+
+
+def main() -> None:
+    rows = []
+
+    # --- read-only workload -------------------------------------------
+    workload = Workload(
+        generate_cello_like(CelloLikeConfig().scaled(SCALE), seed=1)
+    )
+    requests, catalog = workload.bind(
+        ZipfOriginalUniformReplicas(replication_factor=3),
+        num_disks=NUM_DISKS,
+        seed=11,
+    )
+    config = SimulationConfig(num_disks=NUM_DISKS, profile=PAPER_EVAL)
+    baseline = always_on_baseline(requests, catalog, config)
+
+    def record(label, report, extra=""):
+        rows.append(
+            [
+                label,
+                f"{report.total_energy / baseline.total_energy:.3f}",
+                f"{report.mean_response_time * 1000:.0f}",
+                extra,
+            ]
+        )
+
+    record(
+        "Heuristic (paper)",
+        simulate(requests, catalog, HeuristicScheduler(), config),
+    )
+    record(
+        "+ prediction",
+        simulate(requests, catalog, PredictiveHeuristicScheduler(), config),
+    )
+    covering = CoveringSetScheduler(catalog)
+    record(
+        f"+ covering subset ({len(covering.covering)} disks)",
+        simulate(requests, catalog, covering, config),
+    )
+    cached_config = replace(
+        config, cache_factory=lambda: PowerAwareLRUCache(800, scan_depth=16)
+    )
+    cached_report = simulate(
+        requests, catalog, HeuristicScheduler(), cached_config
+    )
+    record(
+        "+ PA-LRU cache (800 blocks)",
+        cached_report,
+        f"hit ratio {cached_report.cache_hit_ratio * 100:.0f}%",
+    )
+
+    # --- write-heavy variant ------------------------------------------
+    write_config = CelloLikeConfig(
+        num_requests=int(70_000 * SCALE),
+        num_data=int(30_000 * SCALE),
+        burst_rate=120.0 * SCALE,
+        quiet_rate=3.0 * SCALE,
+        read_fraction=0.3,
+    )
+    writes = Workload(
+        generate_cello_like(write_config, seed=2), include_writes=True
+    )
+    wrequests, wcatalog = writes.bind(
+        ZipfOriginalUniformReplicas(replication_factor=3),
+        num_disks=NUM_DISKS,
+        seed=11,
+    )
+    wbaseline = always_on_baseline(wrequests, wcatalog, config)
+    plain = simulate(wrequests, wcatalog, HeuristicScheduler(), config)
+    offloader = WriteOffloadingScheduler(HeuristicScheduler())
+    offloaded = simulate(wrequests, wcatalog, offloader, config)
+    rows.append(
+        [
+            "Heuristic, 70% writes",
+            f"{plain.total_energy / wbaseline.total_energy:.3f}",
+            f"{plain.mean_response_time * 1000:.0f}",
+            "",
+        ]
+    )
+    rows.append(
+        [
+            "+ write off-loading",
+            f"{offloaded.total_energy / wbaseline.total_energy:.3f}",
+            f"{offloaded.mean_response_time * 1000:.0f}",
+            f"{offloader.total_offloaded} writes diverted",
+        ]
+    )
+
+    print(
+        format_table(
+            ["configuration", "energy vs always-on", "mean resp (ms)", "notes"],
+            rows,
+            title=f"extensions tour (cello-like @ {SCALE}, {NUM_DISKS} disks, rf=3)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Placement sensitivity study (the paper's Appendix A.1 / Fig. 10).
+
+Sweeps the data-locality exponent z (0 = uniform originals, 1 = Zipf) and
+the replication factor, and shows that:
+
+* Static and Random only save energy when the placement is skewed;
+* the energy-aware Heuristic keeps saving even under uniform placement,
+  as long as it has replicas to choose from.
+
+Run with::
+
+    python examples/placement_sensitivity.py
+"""
+
+from repro import (
+    CelloLikeConfig,
+    HeuristicScheduler,
+    RandomScheduler,
+    SimulationConfig,
+    StaticScheduler,
+    Workload,
+    ZipfOriginalUniformReplicas,
+    always_on_baseline,
+    generate_cello_like,
+    simulate,
+)
+from repro.analysis.tables import format_series_table
+from repro.power import PAPER_EVAL
+
+NUM_DISKS = 27
+SCALE = 0.15
+Z_GRID = (0.0, 0.5, 1.0)
+RF_GRID = (1, 3, 5)
+
+
+def main() -> None:
+    workload = Workload(
+        generate_cello_like(CelloLikeConfig().scaled(SCALE), seed=1)
+    )
+    config = SimulationConfig(num_disks=NUM_DISKS, profile=PAPER_EVAL)
+
+    for scheduler_factory, label in (
+        (StaticScheduler, "Static"),
+        (lambda: RandomScheduler(seed=3), "Random"),
+        (HeuristicScheduler, "Energy-aware Heuristic"),
+    ):
+        series = {}
+        for rf in RF_GRID:
+            values = []
+            for z in Z_GRID:
+                requests, catalog = workload.bind(
+                    ZipfOriginalUniformReplicas(
+                        replication_factor=rf, zipf_exponent=z
+                    ),
+                    num_disks=NUM_DISKS,
+                    seed=11,
+                )
+                baseline = always_on_baseline(requests, catalog, config)
+                report = simulate(
+                    requests, catalog, scheduler_factory(), config
+                )
+                values.append(report.total_energy / baseline.total_energy)
+            series[f"rf={rf}"] = values
+        print(
+            format_series_table(
+                "z",
+                Z_GRID,
+                series,
+                title=f"[{label}] energy vs always-on, by locality and replication",
+            )
+        )
+        print()
+
+    print(
+        "reading: Static/Random need z -> 1 to save anything; the\n"
+        "Heuristic at rf=5 saves heavily even at z=0 (uniform placement),\n"
+        "which is the paper's Appendix A.1 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

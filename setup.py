@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments without the ``wheel`` package / PEP 660
+support (``python setup.py develop`` or legacy ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

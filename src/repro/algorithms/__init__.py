@@ -1,0 +1,45 @@
+"""Graph algorithms: weighted set cover, MWIS, NP-hardness reductions."""
+
+from repro.algorithms.graph import ConflictGraph
+from repro.algorithms.independent_set import (
+    exact_mwis,
+    greedy_min_degree,
+    gwmin,
+    gwmin2,
+    gwmin_weight_bound,
+    independence_check,
+    solve_mwis,
+)
+from repro.algorithms.reductions import (
+    ReducedInstance,
+    cover_from_schedule,
+    independent_set_from_schedule,
+    reduce_mis_to_scheduling,
+    reduce_set_cover_to_scheduling,
+)
+from repro.algorithms.set_cover import (
+    SetCoverInstance,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    harmonic_number,
+)
+
+__all__ = [
+    "ConflictGraph",
+    "ReducedInstance",
+    "SetCoverInstance",
+    "cover_from_schedule",
+    "exact_mwis",
+    "exact_weighted_set_cover",
+    "greedy_min_degree",
+    "greedy_weighted_set_cover",
+    "gwmin",
+    "gwmin2",
+    "gwmin_weight_bound",
+    "harmonic_number",
+    "independence_check",
+    "independent_set_from_schedule",
+    "reduce_mis_to_scheduling",
+    "reduce_set_cover_to_scheduling",
+    "solve_mwis",
+]

@@ -1,0 +1,59 @@
+"""Distribution utilities for response-time analysis (Fig. 12/13)."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def inverse_cdf(
+    values: Sequence[float], thresholds: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """``P[value > x]`` at each threshold — the paper's Fig. 12 axes."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return [(x, 0.0) for x in thresholds]
+    return [
+        (x, (n - bisect.bisect_right(ordered, x)) / n)
+        for x in thresholds
+    ]
+
+
+def nearest_rank_percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (0.9 = the paper's 90th percentile)."""
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def log_spaced_thresholds(
+    low: float, high: float, points_per_decade: int = 4
+) -> List[float]:
+    """Logarithmically spaced thresholds matching Fig. 12's log x-axis."""
+    if low <= 0 or high <= low:
+        raise ConfigurationError("need 0 < low < high")
+    if points_per_decade <= 0:
+        raise ConfigurationError("points_per_decade must be positive")
+    thresholds = []
+    exponent = math.log10(low)
+    stop = math.log10(high)
+    step = 1.0 / points_per_decade
+    while exponent <= stop + 1e-12:
+        thresholds.append(10.0 ** exponent)
+        exponent += step
+    return thresholds
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (empty input rejected)."""
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)

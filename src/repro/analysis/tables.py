@@ -1,0 +1,92 @@
+"""ASCII table rendering for experiment reports.
+
+Every benchmark prints its figure's series through these helpers so the
+terminal output reads like the paper's plots: one row per x-value, one
+column per scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with per-column width fitting."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header length")
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """One row per x-value, one column per named series (paper-plot style)."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} length {len(series[name])} != {len(x_values)}"
+            )
+    headers = [x_label] + names
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        row.extend(round(series[name][index], precision) for name in names)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_breakdown(
+    fractions: Sequence[Dict], states: Sequence, max_rows: int = 12
+) -> str:
+    """Condensed per-disk state breakdown (Fig. 9/17 style).
+
+    Shows evenly spaced sample disks out of the standby-sorted list.
+    """
+    if not fractions:
+        return "(no disks)"
+    count = len(fractions)
+    if count <= max_rows:
+        picks = list(range(count))
+    else:
+        step = (count - 1) / (max_rows - 1)
+        picks = sorted({round(i * step) for i in range(max_rows)})
+    headers = ["disk#"] + [getattr(s, "value", str(s)) for s in states]
+    rows = []
+    for index in picks:
+        row: List[object] = [index]
+        row.extend(
+            f"{fractions[index][state] * 100:.1f}%" for state in states
+        )
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,15 @@
+"""Block caching in front of the disk array (power-aware eviction)."""
+
+from repro.cache.policy import (
+    BlockCache,
+    LRUBlockCache,
+    PowerAwareLRUCache,
+    make_cache,
+)
+
+__all__ = [
+    "BlockCache",
+    "LRUBlockCache",
+    "PowerAwareLRUCache",
+    "make_cache",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``repro-storage`` / ``python -m repro``.
+
+Subcommands:
+
+* ``profile [name]`` — print a power profile (default: the evaluation one).
+* ``simulate`` — one trace-driven run with a chosen scheduler.
+* ``figure <figN>`` — reproduce one figure of the paper and print its
+  series table.
+* ``compare`` — quick cross-scheduler comparison at one replication factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.errors import ReproError
+from repro.experiments import common, run_figure
+from repro.experiments.figures import FIGURES
+from repro.experiments.headline import headline_claims
+from repro.power.profile import PAPER_EVAL, PROFILES, get_profile
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-storage`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-storage",
+        description="Energy-aware scheduling in disk storage systems "
+        "(ICDCS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="print a disk power profile")
+    profile.add_argument(
+        "name",
+        nargs="?",
+        default=PAPER_EVAL.name,
+        choices=sorted(PROFILES),
+    )
+
+    figure = sub.add_parser("figure", help="reproduce one paper figure")
+    figure.add_argument("figure_id", choices=sorted(FIGURES))
+
+    simulate = sub.add_parser("simulate", help="run one scheduler once")
+    simulate.add_argument(
+        "--trace", choices=("cello", "financial"), default="cello"
+    )
+    simulate.add_argument(
+        "--scheduler",
+        choices=("static", "random", "heuristic", "wsc", "mwis"),
+        default="heuristic",
+    )
+    simulate.add_argument("--replication", type=int, default=3)
+    simulate.add_argument("--zipf", type=float, default=1.0)
+    simulate.add_argument("--alpha", type=float, default=0.2)
+    simulate.add_argument("--beta", type=float, default=100.0)
+
+    compare = sub.add_parser("compare", help="compare all schedulers")
+    compare.add_argument(
+        "--trace", choices=("cello", "financial"), default="cello"
+    )
+    compare.add_argument("--replication", type=int, default=3)
+
+    headline = sub.add_parser(
+        "headline", help="measure the paper's abstract claims"
+    )
+    headline.add_argument(
+        "--trace", choices=("cello", "financial"), default="cello"
+    )
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "profile":
+            print(get_profile(args.name).describe())
+        elif args.command == "figure":
+            _print_figure(args.figure_id)
+        elif args.command == "simulate":
+            _run_simulate(args)
+        elif args.command == "compare":
+            _run_compare(args)
+        elif args.command == "headline":
+            print(headline_claims(args.trace).render())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _print_figure(figure_id: str) -> None:
+    result = run_figure(figure_id)
+    if isinstance(result, str):
+        print(result)
+    elif isinstance(result, dict):
+        for panel in result.values():
+            print(panel.render())
+            print()
+    elif isinstance(result, tuple):
+        for part in result:
+            print(part.render())
+            print()
+    else:
+        print(result.render())
+
+
+def _run_simulate(args: argparse.Namespace) -> None:
+    result = common.run_cell(
+        args.trace,
+        args.replication,
+        args.scheduler,
+        zipf_exponent=args.zipf,
+        alpha=args.alpha,
+        beta=args.beta,
+    )
+    print(result.report.summary())
+    print(f"normalized energy    : {result.normalized_energy:.3f} (vs always-on)")
+
+
+def _run_compare(args: argparse.Namespace) -> None:
+    rows = []
+    for key in ("static", "random", "heuristic", "wsc", "mwis"):
+        result = common.run_cell(args.trace, args.replication, key)
+        rows.append(
+            [
+                common.SCHEDULER_LABELS[key],
+                f"{result.normalized_energy:.3f}",
+                result.spin_operations,
+                f"{result.mean_response_time * 1000:.0f}"
+                if result.report.response_times
+                else "n/a",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "energy (norm.)", "spin ops", "mean resp (ms)"],
+            rows,
+            title=f"{args.trace} trace, replication {args.replication}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

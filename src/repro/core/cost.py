@@ -1,0 +1,114 @@
+"""Scheduling cost functions: Eq. 5 (energy), Eq. 7 (load), Eq. 6 (composite).
+
+``E(dk)`` — the *additional* energy consumed on disk ``dk`` if the batch's
+requests are scheduled there (Theorem 2)::
+
+    E(dk) = 0                        if dk is active or spinning up
+          = Eup + Edown + TB * PI    if dk is standby or spinning down
+          = (Tnow - Tlast) * PI      if dk is idle
+
+``P(dk)`` — the performance cost: the current number of requests on the
+disk (queued + in service).
+
+``C(dk) = E(dk) * alpha / beta + P(dk) * (1 - alpha)`` — the composite
+cost the online Heuristic and the WSC batch scheduler minimise. ``alpha``
+trades energy against response time (1 = energy only, 0 = load only);
+``beta`` converts joules into the unitless load scale. The paper settles
+on ``alpha = 0.2``, ``beta = 100`` (Appendix A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.errors import ConfigurationError
+from repro.power.profile import DiskPowerProfile
+from repro.power.states import DiskPowerState
+
+
+class DiskView(Protocol):
+    """What a scheduler may observe about one disk."""
+
+    @property
+    def state(self) -> DiskPowerState: ...
+
+    @property
+    def queue_length(self) -> int: ...
+
+    @property
+    def last_request_time(self) -> Optional[float]: ...
+
+
+def energy_cost(
+    state: DiskPowerState,
+    last_request_time: Optional[float],
+    now: float,
+    profile: DiskPowerProfile,
+) -> float:
+    """Eq. 5 — marginal energy of sending the next request(s) to a disk.
+
+    The idle branch charges the idle-time *extension*: an idle disk that
+    last saw a request at ``Tlast`` would have spun down at
+    ``Tlast + TB``; serving a new request at ``Tnow`` postpones that to
+    ``Tnow + TB``, i.e. ``(Tnow - Tlast) * PI`` extra idle energy. A disk
+    that has never seen a request is treated as freshly touched
+    (zero extension) — it is spinning and unclaimed.
+    """
+    if state in (DiskPowerState.ACTIVE, DiskPowerState.SPIN_UP):
+        return 0.0
+    if state in (DiskPowerState.STANDBY, DiskPowerState.SPIN_DOWN):
+        return profile.transition_energy + profile.breakeven_time * profile.idle_power
+    # IDLE
+    if last_request_time is None:
+        return 0.0
+    extension = now - last_request_time
+    if extension < 0:
+        raise ConfigurationError(
+            f"last_request_time {last_request_time} is in the future of {now}"
+        )
+    return extension * profile.idle_power
+
+
+def performance_cost(queue_length: int) -> float:
+    """Eq. 7 — current number of requests on the disk."""
+    if queue_length < 0:
+        raise ConfigurationError("queue length must be >= 0")
+    return float(queue_length)
+
+
+@dataclass(frozen=True)
+class CostFunction:
+    """Eq. 6 — composite energy/performance cost ``C(dk)``.
+
+    Attributes:
+        alpha: Energy-vs-performance ratio in [0, 1]; 1 = energy only.
+        beta: Unit factor scaling joules against queue length; > 0.
+    """
+
+    alpha: float = 0.2
+    beta: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.beta <= 0:
+            raise ConfigurationError(f"beta must be positive, got {self.beta}")
+
+    def cost(self, disk: DiskView, now: float, profile: DiskPowerProfile) -> float:
+        """Evaluate ``C(dk)`` for one disk at time ``now``."""
+        energy = energy_cost(disk.state, disk.last_request_time, now, profile)
+        load = performance_cost(disk.queue_length)
+        return energy * self.alpha / self.beta + load * (1.0 - self.alpha)
+
+    def energy_only(self) -> "CostFunction":
+        """The pure-energy corner (alpha = 1) used by the plain WSC weights."""
+        return CostFunction(alpha=1.0, beta=self.beta)
+
+    def performance_only(self) -> "CostFunction":
+        """The pure-performance corner (alpha = 0)."""
+        return CostFunction(alpha=0.0, beta=self.beta)
+
+
+#: The configuration the paper uses for Heuristic and WSC (Appendix A.2).
+PAPER_COST_FUNCTION = CostFunction(alpha=0.2, beta=100.0)

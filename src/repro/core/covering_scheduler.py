@@ -1,0 +1,60 @@
+"""Covering-subset scheduling: the Hadoop-style "Set-Cover" combo.
+
+Section 1 notes that covering-subset power management (Leverich &
+Kozyrakis; Lang & Patel) "could be combined with our approach to save
+more power by concentrating requests on fewer active disks".
+:class:`CoveringSetScheduler` is that combination: requests route to a
+covering-subset replica whenever one exists (ties broken by the Eq. 6
+cost function), so the covering disks absorb nearly all traffic and the
+rest of the array sleeps.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.cost import PAPER_COST_FUNCTION, CostFunction
+from repro.core.scheduler import OnlineScheduler, SystemView
+from repro.placement.catalog import PlacementCatalog
+from repro.placement.covering import covering_subset
+from repro.types import DataId, DiskId, Request
+
+
+class CoveringSetScheduler(OnlineScheduler):
+    """Concentrate requests on a fixed covering subset of disks.
+
+    Args:
+        catalog: The placement (the covering subset is computed once).
+        weights: Optional access weights for the greedy cover.
+        cost_function: Tie-breaker among covering replicas (Eq. 6).
+    """
+
+    def __init__(
+        self,
+        catalog: PlacementCatalog,
+        weights: Optional[Mapping[DataId, float]] = None,
+        cost_function: Optional[CostFunction] = None,
+    ):
+        self.covering = frozenset(covering_subset(catalog, weights))
+        self.cost_function = cost_function or PAPER_COST_FUNCTION
+
+    def choose(self, request: Request, view: SystemView) -> DiskId:
+        locations = view.locations(request.data_id)
+        candidates = [d for d in locations if d in self.covering] or list(
+            locations
+        )
+        best = None
+        best_key = None
+        for disk_id in candidates:
+            disk = view.disk(disk_id)
+            cost = self.cost_function.cost(disk, view.now, view.profile)
+            key = (cost, disk.queue_length, disk_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = disk_id
+        assert best is not None
+        return best
+
+    @property
+    def name(self) -> str:
+        return f"CoveringSet({len(self.covering)} disks)"

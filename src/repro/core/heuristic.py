@@ -1,0 +1,60 @@
+"""Energy-aware online Heuristic (Section 3.3).
+
+On each arrival, evaluate the composite cost ``C(dk)`` (Eq. 6) for every
+disk holding the request's data and pick the cheapest. With the paper's
+``alpha = 0.2, beta = 100`` the scheduler prefers, in rough order:
+
+1. disks already active or spinning up with short queues (free energy,
+   low load — spinning-up disks "overlay" requests into one wake-up),
+2. recently-touched idle disks (small idle extension),
+3. long-idle disks,
+4. standby disks (full ``EPmax`` wake-up cost),
+
+with queue length breaking the energy ties toward responsiveness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cost import PAPER_COST_FUNCTION, CostFunction
+from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
+from repro.types import DiskId, Request
+
+
+class HeuristicScheduler(OnlineScheduler):
+    """Cost-function online scheduler.
+
+    Args:
+        cost_function: The Eq. 6 instance to minimise; defaults to the
+            paper's ``alpha=0.2, beta=100``.
+    """
+
+    def __init__(self, cost_function: Optional[CostFunction] = None):
+        self.cost_function = cost_function or PAPER_COST_FUNCTION
+
+    def choose(self, request: Request, view: SystemView) -> DiskId:
+        locations = view.locations(request.data_id)
+        best_disk = locations[0]
+        best_key = None
+        for disk_id in locations:
+            disk = view.disk(disk_id)
+            cost = self.cost_function.cost(disk, view.now, view.profile)
+            # Deterministic tie-breaks: shorter queue, then lower disk id.
+            key = (cost, disk.queue_length, disk_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_disk = disk_id
+        return best_disk
+
+    @property
+    def name(self) -> str:
+        return (
+            f"Heuristic(a={self.cost_function.alpha:g},"
+            f"b={self.cost_function.beta:g})"
+        )
+
+
+@register_scheduler("heuristic")
+def _make_heuristic() -> HeuristicScheduler:
+    return HeuristicScheduler()

@@ -1,0 +1,34 @@
+"""Random baseline: uniformly pick one of the request's data locations.
+
+One of the paper's two energy-oblivious baselines (Section 4.3). With a
+replication factor above 1 it scatters requests across disks, keeping them
+all spinning — which is exactly why its energy climbs back toward the
+always-on configuration as replication grows (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
+from repro.types import DiskId, Request
+
+
+class RandomScheduler(OnlineScheduler):
+    """Uniform choice over replica locations, seeded for determinism."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, request: Request, view: SystemView) -> DiskId:
+        locations = view.locations(request.data_id)
+        return self._rng.choice(locations)
+
+    @property
+    def name(self) -> str:
+        return "Random"
+
+
+@register_scheduler("random")
+def _make_random() -> RandomScheduler:
+    return RandomScheduler()

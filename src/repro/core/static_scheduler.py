@@ -1,0 +1,28 @@
+"""Static baseline: always use the original data location.
+
+The second energy-oblivious baseline (Section 4.3). Its behaviour is
+independent of the replication factor, so its curves are flat in the
+replication sweeps (Fig. 6/7) — the paper normalises the spin-up/down
+counts to Static for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
+from repro.types import DiskId, Request
+
+
+class StaticScheduler(OnlineScheduler):
+    """Route every request to its original (first) location."""
+
+    def choose(self, request: Request, view: SystemView) -> DiskId:
+        return view.locations(request.data_id)[0]
+
+    @property
+    def name(self) -> str:
+        return "Static"
+
+
+@register_scheduler("static")
+def _make_static() -> StaticScheduler:
+    return StaticScheduler()

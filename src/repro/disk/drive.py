@@ -1,0 +1,222 @@
+"""Simulated disk drive: request queue + power state machine + energy ledger.
+
+One :class:`SimulatedDisk` combines:
+
+* a FIFO request queue serviced one request at a time (Disksim's role),
+* the five-state power machine of the paper's disk model
+  (standby / spin-up / idle / active / spin-down),
+* a :class:`~repro.power.policy.PowerPolicy` deciding when an idle disk
+  spins down (2CPM in the paper's experiments), and
+* a :class:`~repro.disk.stats.DiskStats` ledger integrating time and energy.
+
+Semantics match Section 2 of the paper:
+
+* A request arriving at a STANDBY disk triggers a spin-up; the request (and
+  any that pile up behind it) waits ``Tup`` seconds — the spin-up penalty.
+* A request arriving mid-SPIN_DOWN waits for the spin-down to complete and
+  then the full spin-up (the transition is not abortable).
+* When the queue drains, the disk goes IDLE and arms the policy's idleness
+  timer; any arrival cancels it. When the timer fires the disk spins down.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from repro.disk.service import ConstantServiceModel, ServiceTimeModel
+from repro.disk.stats import DiskStats
+from repro.errors import SimulationError
+from repro.power.policy import PowerPolicy, TwoCompetitivePolicy
+from repro.power.profile import DiskPowerProfile
+from repro.power.states import DiskPowerState
+from repro.types import DiskId, Request
+
+if TYPE_CHECKING:  # used only in annotations; avoids a package import cycle
+    from repro.sim.engine import EventHandle, SimulationEngine
+
+CompletionCallback = Callable[[Request, DiskId, float], None]
+
+
+class SimulatedDisk:
+    """One disk inside the event-driven storage simulation."""
+
+    def __init__(
+        self,
+        disk_id: DiskId,
+        engine: SimulationEngine,
+        profile: DiskPowerProfile,
+        policy: Optional[PowerPolicy] = None,
+        service_model: Optional[ServiceTimeModel] = None,
+        rng: Optional[random.Random] = None,
+        on_complete: Optional[CompletionCallback] = None,
+        initial_state: DiskPowerState = DiskPowerState.STANDBY,
+        record_transitions: bool = False,
+    ):
+        if initial_state not in (DiskPowerState.STANDBY, DiskPowerState.IDLE):
+            raise SimulationError(
+                "disks must start in STANDBY or IDLE, got " + initial_state.value
+            )
+        self.disk_id = disk_id
+        self._engine = engine
+        self.profile = profile
+        self._policy = policy or TwoCompetitivePolicy()
+        self._service_model = service_model or ConstantServiceModel(0.0)
+        self._rng = rng or random.Random(disk_id)
+        self._on_complete = on_complete
+        self._state = initial_state
+        self.stats = DiskStats(profile)
+        if record_transitions:
+            self.stats.enable_transition_log()
+        self.stats.begin(initial_state, engine.now)
+        self._queue: Deque[Request] = deque()
+        self._in_service: Optional[Request] = None
+        self._idle_timer: Optional[EventHandle] = None
+        #: ``Tlast`` of Eq. 5 — when this disk last *received* a request.
+        self.last_request_time: Optional[float] = None
+        if initial_state is DiskPowerState.IDLE:
+            self._arm_idle_timer()
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> DiskPowerState:
+        return self._state
+
+    @property
+    def queue_length(self) -> int:
+        """``P(dk)`` of Eq. 7: queued requests plus the one in service."""
+        return len(self._queue) + (1 if self._in_service is not None else 0)
+
+    def submit(self, request: Request) -> None:
+        """Accept a request at the current simulated time."""
+        now = self._engine.now
+        self.last_request_time = now
+        self._queue.append(request)
+        if self._state is DiskPowerState.STANDBY:
+            self._start_spin_up()
+        elif self._state is DiskPowerState.IDLE:
+            self._cancel_idle_timer()
+            self._start_service()
+        # ACTIVE: queued behind the in-flight request.
+        # SPIN_UP: serviced when the spin-up completes.
+        # SPIN_DOWN: serviced after spin-down completes + full spin-up.
+
+    def finalize(self) -> None:
+        """Close the stats ledger at simulation end."""
+        self.stats.finalize(self._engine.now)
+
+    # ------------------------------------------------------------------
+    # state machine internals
+    # ------------------------------------------------------------------
+
+    def _transition(self, new_state: DiskPowerState) -> None:
+        self.stats.transition(new_state, self._engine.now)
+        self._state = new_state
+
+    def _start_spin_up(self) -> None:
+        self._transition(DiskPowerState.SPIN_UP)
+        if self.profile.spin_up_time > 0:
+            self._engine.schedule_after(
+                self.profile.spin_up_time, self._on_spin_up_complete
+            )
+        else:
+            self._on_spin_up_complete()
+
+    def _on_spin_up_complete(self) -> None:
+        if self._state is not DiskPowerState.SPIN_UP:
+            raise SimulationError(
+                f"spin-up completion in state {self._state.value} on disk "
+                f"{self.disk_id}"
+            )
+        self._transition(DiskPowerState.IDLE)
+        if self._queue:
+            self._start_service()
+        else:
+            self._arm_idle_timer()
+
+    def _start_service(self) -> None:
+        if self._in_service is not None:
+            raise SimulationError(f"disk {self.disk_id} already servicing")
+        self._transition(DiskPowerState.ACTIVE)
+        self._service_loop()
+
+    def _service_loop(self) -> None:
+        """Start queued requests; zero-duration services complete inline.
+
+        Iterative (not recursive) so a long queue with a zero-cost service
+        model — the paper's analysis configuration — cannot overflow the
+        stack.
+        """
+        while True:
+            self._in_service = self._queue.popleft()
+            duration = self._service_model.service_time(self._in_service, self._rng)
+            if duration < 0:
+                raise SimulationError("service model returned negative duration")
+            if duration > 0:
+                self._engine.schedule_after(duration, self._on_service_complete)
+                return
+            self._complete_current()
+            if not self._queue:
+                self._transition(DiskPowerState.IDLE)
+                self._arm_idle_timer()
+                return
+
+    def _on_service_complete(self) -> None:
+        self._complete_current()
+        if self._queue:
+            self._service_loop()
+        else:
+            self._transition(DiskPowerState.IDLE)
+            self._arm_idle_timer()
+
+    def _complete_current(self) -> None:
+        request = self._in_service
+        if request is None:
+            raise SimulationError("service completion with no request in flight")
+        self._in_service = None
+        self.stats.note_request_serviced()
+        if self._on_complete is not None:
+            self._on_complete(request, self.disk_id, self._engine.now)
+
+    def _arm_idle_timer(self) -> None:
+        timeout = self._policy.idle_timeout(self.profile)
+        if timeout is None:
+            return
+        self._idle_timer = self._engine.schedule_after(timeout, self._on_idle_timeout)
+
+    def _cancel_idle_timer(self) -> None:
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
+
+    def _on_idle_timeout(self) -> None:
+        if self._state is not DiskPowerState.IDLE:
+            return  # a request slipped in and the cancel raced; ignore
+        if self._queue:
+            raise SimulationError("idle timeout fired with non-empty queue")
+        self._idle_timer = None
+        self._start_spin_down()
+
+    def _start_spin_down(self) -> None:
+        self._transition(DiskPowerState.SPIN_DOWN)
+        if self.profile.spin_down_time > 0:
+            self._engine.schedule_after(
+                self.profile.spin_down_time, self._on_spin_down_complete
+            )
+        else:
+            self._on_spin_down_complete()
+
+    def _on_spin_down_complete(self) -> None:
+        if self._state is not DiskPowerState.SPIN_DOWN:
+            raise SimulationError(
+                f"spin-down completion in state {self._state.value} on disk "
+                f"{self.disk_id}"
+            )
+        self._transition(DiskPowerState.STANDBY)
+        if self._queue:
+            # Requests arrived during the spin-down; wake straight back up.
+            self._start_spin_up()

@@ -1,0 +1,128 @@
+"""Request service-time models (the Disksim substitute's timing layer).
+
+The paper couples OMNeT++ with Disksim purely to charge each request a
+realistic millisecond-scale I/O time. :class:`AnalyticServiceModel`
+reproduces that role with a seek + rotational-latency + transfer + overhead
+decomposition over a :class:`~repro.disk.geometry.DiskGeometry`;
+:class:`ConstantServiceModel` supports the paper's *analysis* assumption
+that I/O time is negligible (Section 2.1), which the offline model and unit
+examples use.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.disk.geometry import CHEETAH_15K5_GEOMETRY, DiskGeometry
+from repro.errors import ConfigurationError
+from repro.types import Request
+
+
+class ServiceTimeModel(ABC):
+    """Computes how long a disk is ACTIVE servicing one request."""
+
+    @abstractmethod
+    def service_time(self, request: Request, rng: random.Random) -> float:
+        """Seconds of ACTIVE time for ``request`` (must be >= 0)."""
+
+
+@dataclass(frozen=True)
+class ConstantServiceModel(ServiceTimeModel):
+    """Fixed service time per request (0 reproduces the paper's analysis)."""
+
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError("service time must be >= 0")
+
+    def service_time(self, request: Request, rng: random.Random) -> float:
+        return self.seconds
+
+
+class AnalyticServiceModel(ServiceTimeModel):
+    """Seek + rotate + transfer + controller-overhead service model.
+
+    Per-disk head position is *not* tracked here (the model is shared by all
+    disks); instead the seek distance is drawn uniformly over the cylinder
+    span, which matches the random-placement workloads the paper replays.
+    Rotational latency is drawn uniformly over one revolution. Both draws
+    come from the caller-supplied seeded RNG so simulations stay
+    deterministic.
+    """
+
+    def __init__(self, geometry: DiskGeometry = CHEETAH_15K5_GEOMETRY):
+        self._geometry = geometry
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        return self._geometry
+
+    def service_time(self, request: Request, rng: random.Random) -> float:
+        geometry = self._geometry
+        seek_distance = rng.randrange(geometry.cylinders)
+        seek = geometry.seek_time(seek_distance)
+        rotation = rng.random() * geometry.rotation_time
+        transfer = geometry.transfer_time(request.size_bytes)
+        return seek + rotation + transfer + geometry.controller_overhead
+
+    def expected_service_time(self, size_bytes: int) -> float:
+        """Closed-form expectation, handy for utilisation estimates."""
+        geometry = self._geometry
+        # E[sqrt(U)] = 2/3 for U uniform on [0, 1].
+        expected_seek = geometry.track_to_track_seek + (
+            geometry.full_stroke_seek - geometry.track_to_track_seek
+        ) * (2.0 / 3.0)
+        return (
+            expected_seek
+            + geometry.average_rotational_latency
+            + geometry.transfer_time(size_bytes)
+            + geometry.controller_overhead
+        )
+
+
+class PositionAwareServiceModel(ServiceTimeModel):
+    """Seek model with per-disk head-position tracking.
+
+    Unlike :class:`AnalyticServiceModel` (which draws seek distances
+    uniformly), this model remembers where each request left the head and
+    charges the seek from there, so workloads with spatial locality —
+    consecutive accesses to nearby data — get realistically cheaper
+    seeks, the main fidelity Disksim adds over an averaged model.
+
+    Data is laid onto cylinders deterministically by hashing the data id,
+    so the mapping is stable across runs. The model is stateful *per
+    disk*: construct one instance per disk (e.g. through
+    ``SimulationConfig(service_model_factory=PositionAwareServiceModel.factory())``).
+    """
+
+    def __init__(self, geometry: DiskGeometry = CHEETAH_15K5_GEOMETRY):
+        self._geometry = geometry
+        self._head_cylinder = 0
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        """The mechanical model used."""
+        return self._geometry
+
+    @classmethod
+    def factory(cls, geometry: DiskGeometry = CHEETAH_15K5_GEOMETRY):
+        """A zero-argument constructor for per-disk instantiation."""
+        return lambda: cls(geometry)
+
+    def cylinder_of_data(self, data_id: int) -> int:
+        """Deterministic data -> cylinder layout (hash-spread)."""
+        spread = (data_id * 2654435761) % (2**32)
+        return spread % self._geometry.cylinders
+
+    def service_time(self, request: Request, rng: random.Random) -> float:
+        geometry = self._geometry
+        target = self.cylinder_of_data(request.data_id)
+        distance = abs(target - self._head_cylinder)
+        self._head_cylinder = target
+        seek = geometry.seek_time(distance)
+        rotation = rng.random() * geometry.rotation_time
+        transfer = geometry.transfer_time(request.size_bytes)
+        return seek + rotation + transfer + geometry.controller_overhead

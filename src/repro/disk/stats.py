@@ -1,0 +1,148 @@
+"""Per-disk statistics: state-time breakdown, energy, spin counts.
+
+:class:`DiskStats` is a pure accumulator — the drive notifies it of every
+state transition and it integrates time and energy per state. The paper's
+Fig. 9 / Fig. 17 per-disk breakdowns come straight out of
+:meth:`DiskStats.state_fractions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.power.profile import DiskPowerProfile
+from repro.power.states import DiskPowerState
+
+
+@dataclass
+class DiskStats:
+    """Time/energy ledger of one simulated disk.
+
+    Attributes:
+        profile: Power profile used to convert state time into energy.
+        state_time: Seconds accumulated per power state.
+        spin_ups: Completed spin-up transitions.
+        spin_downs: Completed spin-down transitions.
+        requests_serviced: Requests whose I/O completed on this disk.
+        transitions: Optional ``(time, state)`` log (see
+            :meth:`enable_transition_log`); feeds the state-period
+            analyses in :mod:`repro.analysis.idleness`.
+    """
+
+    profile: DiskPowerProfile
+    state_time: Dict[DiskPowerState, float] = field(
+        default_factory=lambda: {state: 0.0 for state in DiskPowerState}
+    )
+    spin_ups: int = 0
+    spin_downs: int = 0
+    requests_serviced: int = 0
+    transitions: Optional[List[Tuple[float, DiskPowerState]]] = None
+    _current_state: DiskPowerState = DiskPowerState.STANDBY
+    _state_since: float = 0.0
+    _closed: bool = False
+
+    def enable_transition_log(self) -> None:
+        """Start recording every state transition as ``(time, state)``."""
+        if self.transitions is None:
+            self.transitions = [(self._state_since, self._current_state)]
+
+    def begin(self, state: DiskPowerState, now: float) -> None:
+        """Initialise the ledger at simulation start."""
+        self._current_state = state
+        self._state_since = now
+        if self.transitions is not None:
+            self.transitions = [(now, state)]
+
+    def transition(self, new_state: DiskPowerState, now: float) -> None:
+        """Close the current state interval and open a new one."""
+        if self._closed:
+            raise SimulationError("stats already finalised")
+        if now < self._state_since:
+            raise SimulationError(
+                f"time went backwards: {now} < {self._state_since}"
+            )
+        self.state_time[self._current_state] += now - self._state_since
+        if self.transitions is not None:
+            self.transitions.append((now, new_state))
+        if new_state is DiskPowerState.SPIN_UP:
+            self.spin_ups += 1
+        elif new_state is DiskPowerState.SPIN_DOWN:
+            self.spin_downs += 1
+        self._current_state = new_state
+        self._state_since = now
+
+    def note_request_serviced(self) -> None:
+        """Count one completed I/O on this disk."""
+        self.requests_serviced += 1
+
+    def mark_closed(self) -> None:
+        """Close a *synthetic* ledger whose times were credited directly.
+
+        The offline evaluator fills ``state_time`` analytically instead of
+        via :meth:`transition`; this seals the ledger without crediting
+        any additional interval.
+        """
+        self._closed = True
+
+    def finalize(self, now: float) -> None:
+        """Close the open interval at simulation end (idempotent)."""
+        if self._closed:
+            return
+        if now < self._state_since:
+            raise SimulationError(
+                f"time went backwards: {now} < {self._state_since}"
+            )
+        self.state_time[self._current_state] += now - self._state_since
+        self._state_since = now
+        self._closed = True
+
+    @property
+    def current_state(self) -> DiskPowerState:
+        return self._current_state
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.state_time.values())
+
+    @property
+    def spin_operations(self) -> int:
+        """Total spin transitions (the paper's Fig. 7 metric counts both)."""
+        return self.spin_ups + self.spin_downs
+
+    @property
+    def energy(self) -> float:
+        """Joules consumed: per-state power x time.
+
+        Transition energy is captured through the spin-up/down state powers
+        (``Eup = Pup * Tup``), so no separate lump charge is needed; for
+        profiles with zero transition *time* but non-zero energy the drive
+        adds the lump via :meth:`add_transition_energy`.
+        """
+        return (
+            sum(
+                self.profile.power(state) * seconds
+                for state, seconds in self.state_time.items()
+            )
+            + self._lump_energy
+        )
+
+    _lump_energy: float = 0.0
+
+    def add_transition_energy(self, joules: float) -> None:
+        """Charge transition energy not representable as power x time."""
+        if joules < 0:
+            raise SimulationError("transition energy must be >= 0")
+        self._lump_energy += joules
+
+    def state_fractions(self) -> Dict[DiskPowerState, float]:
+        """Fraction of total time per state (zeros if no time elapsed)."""
+        total = self.total_time
+        if total == 0:
+            return {state: 0.0 for state in DiskPowerState}
+        return {state: seconds / total for state, seconds in self.state_time.items()}
+
+    def standby_fraction(self) -> float:
+        """Fraction of total time spent in STANDBY."""
+        return self.state_fractions()[DiskPowerState.STANDBY]

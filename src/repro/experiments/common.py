@@ -1,0 +1,227 @@
+"""Shared experiment plumbing: cached workloads, bindings and runs.
+
+The benchmark files (one per paper figure) all pull from this module, so
+a pytest session computes each (trace, placement, scheduler) combination
+exactly once — Fig. 6, 7, 8, 9, 12 and 13 share the same underlying runs,
+just as the paper's figures all describe one experiment campaign.
+
+Scale control (environment variables, read at import):
+
+* ``REPRO_SCALE`` — trace/disks scale factor for simulated runs
+  (default 1.0 = the paper's full 70 000 requests on 180 disks; the
+  event simulator handles that in seconds).
+* ``REPRO_MWIS_SCALE`` — scale for offline MWIS runs (default 0.15;
+  the MWIS conflict graph at full scale has ~1M nodes, which pure-Python
+  greedy MWIS handles too slowly for a default benchmark run).
+* ``REPRO_SEED`` — base RNG seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import (
+    CostFunction,
+    HeuristicScheduler,
+    MWISOfflineScheduler,
+    RandomScheduler,
+    StaticScheduler,
+    WSCBatchScheduler,
+)
+from repro.errors import ConfigurationError
+from repro.placement.schemes import ZipfOriginalUniformReplicas
+from repro.power.profile import PAPER_EVAL
+from repro.report import SimulationReport
+from repro.sim import SimulationConfig, always_on_baseline, run_offline, simulate
+from repro.traces import (
+    CelloLikeConfig,
+    FinancialLikeConfig,
+    Workload,
+    generate_cello_like,
+    generate_financial_like,
+)
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+MWIS_SCALE = float(os.environ.get("REPRO_MWIS_SCALE", "0.15"))
+BASE_SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+PAPER_NUM_DISKS = 180
+REPLICATION_FACTORS = (1, 2, 3, 4, 5)
+
+#: Display names matching the paper's legends.
+SCHEDULER_LABELS = {
+    "random": "Random",
+    "static": "Static",
+    "heuristic": "Energy-aware Heuristic",
+    "wsc": "Energy-aware WSC(batch 0.1s)",
+    "mwis": "Energy-aware MWIS(offline)",
+    "always-on": "Always-on",
+}
+
+_workload_cache: Dict[Tuple, Workload] = {}
+_binding_cache: Dict[Tuple, Tuple] = {}
+_run_cache: Dict[Tuple, "RunResult"] = {}
+_baseline_cache: Dict[Tuple, SimulationReport] = {}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (trace, placement, scheduler) cell of the evaluation."""
+
+    scheduler_key: str
+    report: SimulationReport
+    baseline_energy: float
+
+    @property
+    def normalized_energy(self) -> float:
+        return self.report.total_energy / self.baseline_energy
+
+    @property
+    def spin_operations(self) -> int:
+        return self.report.spin_operations
+
+    @property
+    def mean_response_time(self) -> float:
+        return self.report.mean_response_time
+
+    def response_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of this run's response times."""
+        if not self.report.response_times:
+            return 0.0
+        return self.report.response_percentile(fraction)
+
+
+def num_disks_for(scale: float) -> int:
+    """Disk count at a given scale (paper: 180 at scale 1.0)."""
+    return max(2, round(PAPER_NUM_DISKS * scale))
+
+
+def get_workload(trace: str, scale: float, seed: int = BASE_SEED) -> Workload:
+    """Cached synthetic workload (``trace`` in {"cello", "financial"})."""
+    key = (trace, scale, seed)
+    if key not in _workload_cache:
+        if trace == "cello":
+            records = generate_cello_like(CelloLikeConfig().scaled(scale), seed=seed)
+        elif trace == "financial":
+            records = generate_financial_like(
+                FinancialLikeConfig().scaled(scale), seed=seed
+            )
+        else:
+            raise ConfigurationError(f"unknown trace {trace!r}")
+        _workload_cache[key] = Workload(records)
+    return _workload_cache[key]
+
+
+def get_binding(
+    trace: str,
+    replication_factor: int,
+    zipf_exponent: float = 1.0,
+    scale: float = SCALE,
+    seed: int = BASE_SEED,
+):
+    """Cached (requests, catalog, num_disks) for one placement."""
+    key = (trace, replication_factor, zipf_exponent, scale, seed)
+    if key not in _binding_cache:
+        workload = get_workload(trace, scale, seed)
+        disks = num_disks_for(scale)
+        requests, catalog = workload.bind(
+            ZipfOriginalUniformReplicas(
+                replication_factor=replication_factor,
+                zipf_exponent=zipf_exponent,
+            ),
+            num_disks=disks,
+            seed=seed + 7,
+        )
+        _binding_cache[key] = (requests, catalog, disks)
+    return _binding_cache[key]
+
+
+def make_config(num_disks: int, seed: int = BASE_SEED) -> SimulationConfig:
+    """The evaluation's simulation config (PAPER_EVAL profile, 2CPM)."""
+    return SimulationConfig(num_disks=num_disks, profile=PAPER_EVAL, seed=seed)
+
+
+def get_baseline(
+    trace: str, scale: float = SCALE, seed: int = BASE_SEED
+) -> SimulationReport:
+    """Always-on energy for a trace (placement-independent up to ~0.1%)."""
+    key = (trace, scale, seed)
+    if key not in _baseline_cache:
+        requests, catalog, disks = get_binding(trace, 1, 1.0, scale, seed)
+        _baseline_cache[key] = always_on_baseline(
+            requests, catalog, make_config(disks, seed)
+        )
+    return _baseline_cache[key]
+
+
+def make_scheduler_for_key(
+    key: str, alpha: float = 0.2, beta: float = 100.0
+):
+    """Instantiate the scheduler a key refers to (paper configurations)."""
+    cost = CostFunction(alpha=alpha, beta=beta)
+    if key == "static":
+        return StaticScheduler()
+    if key == "random":
+        return RandomScheduler(seed=BASE_SEED)
+    if key == "heuristic":
+        return HeuristicScheduler(cost_function=cost)
+    if key == "wsc":
+        return WSCBatchScheduler(cost_function=cost)
+    if key == "mwis":
+        return MWISOfflineScheduler(method="gwmin", neighborhood=4)
+    raise ConfigurationError(f"unknown scheduler key {key!r}")
+
+
+def run_cell(
+    trace: str,
+    replication_factor: int,
+    scheduler_key: str,
+    zipf_exponent: float = 1.0,
+    alpha: float = 0.2,
+    beta: float = 100.0,
+    scale: Optional[float] = None,
+) -> RunResult:
+    """Run (or fetch from cache) one cell of the evaluation matrix.
+
+    MWIS cells run at ``REPRO_MWIS_SCALE`` with their own always-on
+    baseline, so their *normalised* energies remain comparable with the
+    simulated cells.
+    """
+    if scale is None:
+        scale = MWIS_SCALE if scheduler_key == "mwis" else SCALE
+    key = (trace, replication_factor, scheduler_key, zipf_exponent, alpha, beta, scale)
+    if key in _run_cache:
+        return _run_cache[key]
+
+    requests, catalog, disks = get_binding(
+        trace, replication_factor, zipf_exponent, scale
+    )
+    config = make_config(disks)
+    baseline = _baseline_for_scale(trace, scale)
+    scheduler = make_scheduler_for_key(scheduler_key, alpha, beta)
+    if scheduler_key == "mwis":
+        evaluation = run_offline(requests, catalog, scheduler, config)
+        report = evaluation.report
+    else:
+        report = simulate(requests, catalog, scheduler, config)
+    result = RunResult(
+        scheduler_key=scheduler_key,
+        report=report,
+        baseline_energy=baseline.total_energy,
+    )
+    _run_cache[key] = result
+    return result
+
+
+def _baseline_for_scale(trace: str, scale: float) -> SimulationReport:
+    return get_baseline(trace, scale)
+
+
+def clear_caches() -> None:
+    """Testing hook: drop all memoised workloads/runs."""
+    _workload_cache.clear()
+    _binding_cache.clear()
+    _run_cache.clear()
+    _baseline_cache.clear()

@@ -1,0 +1,61 @@
+"""Covering subsets: minimal always-on disk groups.
+
+The paper's related work (Leverich & Kozyrakis; Lang & Patel) keeps a
+*covering subset* of nodes — a minimal group of disks that together hold
+at least one replica of every data item — always on, so the remainder can
+sleep without ever losing availability. :func:`covering_subset` computes
+such a subset greedily; :class:`repro.core.covering_scheduler.
+CoveringSetScheduler` combines it with the paper's cost function, the
+combination Section 1 suggests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.errors import PlacementError
+from repro.placement.catalog import PlacementCatalog
+from repro.types import DataId, DiskId
+
+
+def covering_subset(
+    catalog: PlacementCatalog,
+    weights: Optional[Mapping[DataId, float]] = None,
+) -> List[DiskId]:
+    """Greedy minimal set of disks covering every data item.
+
+    Args:
+        catalog: The placement to cover.
+        weights: Optional per-data access weights; when given, the greedy
+            picks the disk covering the most *weight* per step, so the
+            hottest data anchors the earliest (always-on) disks.
+
+    Returns:
+        Disk ids in pick order (most-covering first).
+    """
+    uncovered: Set[DataId] = set(catalog)
+    if not uncovered:
+        return []
+    coverage: Dict[DiskId, Set[DataId]] = {}
+    for data_id in catalog:
+        for disk_id in catalog.locations(data_id):
+            coverage.setdefault(disk_id, set()).add(data_id)
+
+    def gain(disk_id: DiskId) -> float:
+        new = coverage[disk_id] & uncovered
+        if weights is None:
+            return float(len(new))
+        return sum(weights.get(data_id, 1.0) for data_id in new)
+
+    chosen: List[DiskId] = []
+    while uncovered:
+        best = max(
+            (disk_id for disk_id in coverage if coverage[disk_id] & uncovered),
+            key=lambda disk_id: (gain(disk_id), -disk_id),
+            default=None,
+        )
+        if best is None:
+            raise PlacementError("catalog cannot be covered (orphan data)")
+        chosen.append(best)
+        uncovered -= coverage[best]
+    return chosen

@@ -1,0 +1,87 @@
+"""Zipf and Zipf-like samplers.
+
+The paper places *original* data locations by a Zipf-like law over disk
+ranks: the probability of choosing the rank-``r`` disk is ``p = c / r^z``
+(Section 4.2), with ``z`` swept from 0 (uniform) to 1 (true Zipf) in the
+Appendix A.1 placement study. The same family models block popularity in
+the synthetic traces (web-style skew, Breslau et al.).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ZipfSampler:
+    """Samples ranks ``0 .. n-1`` with ``P(rank r) ∝ 1 / (r+1)^z``.
+
+    ``z = 0`` degenerates to the uniform distribution; ``z = 1`` is the
+    classic Zipf law. Sampling is O(log n) via a precomputed CDF.
+    """
+
+    def __init__(self, n: int, exponent: float):
+        if n <= 0:
+            raise ConfigurationError(f"population size must be positive, got {n}")
+        if exponent < 0:
+            raise ConfigurationError(f"zipf exponent must be >= 0, got {exponent}")
+        self._n = n
+        self._exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        self._cdf: List[float] = list(itertools.accumulate(weights))
+        self._total = self._cdf[-1]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def exponent(self) -> float:
+        return self._exponent
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of ``rank``."""
+        if not 0 <= rank < self._n:
+            raise ConfigurationError(f"rank {rank} out of range [0, {self._n})")
+        low = self._cdf[rank - 1] if rank > 0 else 0.0
+        return (self._cdf[rank] - low) / self._total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        u = rng.random() * self._total
+        return bisect.bisect_left(self._cdf, u)
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` independent ranks."""
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        return [self.sample(rng) for _ in range(count)]
+
+
+def zipf_probabilities(n: int, exponent: float) -> List[float]:
+    """The full probability vector of a ZipfSampler (testing/analysis)."""
+    sampler = ZipfSampler(n, exponent)
+    return [sampler.probability(rank) for rank in range(n)]
+
+
+def rank_permutation(n: int, rng: random.Random) -> List[int]:
+    """Random bijection rank -> item so rank 0 isn't always item 0.
+
+    The paper ranks *disks*; which physical disk holds rank 0 is arbitrary,
+    so placements shuffle the identity of ranks with this helper.
+    """
+    permutation = list(range(n))
+    rng.shuffle(permutation)
+    return permutation
+
+
+def empirical_ranks(samples: Sequence[int], n: int) -> List[int]:
+    """Histogram of samples over ``0..n-1`` (testing helper)."""
+    counts = [0] * n
+    for sample in samples:
+        counts[sample] += 1
+    return counts

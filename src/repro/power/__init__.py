@@ -1,0 +1,62 @@
+"""Disk power modelling: states, profiles, breakeven math, policies."""
+
+from repro.power.breakeven import (
+    always_on_interval_energy,
+    breakeven_time,
+    breakeven_time_with_standby,
+    competitive_ratio_bound,
+    idle_interval_energy,
+)
+from repro.power.oracle import (
+    OracleDecision,
+    OracleResult,
+    empirical_competitive_ratio,
+    oracle_energy,
+    optimal_gap_energy,
+    two_cpm_energy,
+)
+from repro.power.policy import (
+    AlwaysOnPolicy,
+    FixedThresholdPolicy,
+    PowerPolicy,
+    ScaledBreakevenPolicy,
+    TwoCompetitivePolicy,
+)
+from repro.power.profile import (
+    BARRACUDA,
+    CHEETAH_15K5,
+    PAPER_EVAL,
+    PAPER_UNIT,
+    PROFILES,
+    DiskPowerProfile,
+    get_profile,
+)
+from repro.power.states import STATE_ORDER, DiskPowerState
+
+__all__ = [
+    "AlwaysOnPolicy",
+    "BARRACUDA",
+    "CHEETAH_15K5",
+    "DiskPowerProfile",
+    "DiskPowerState",
+    "FixedThresholdPolicy",
+    "OracleDecision",
+    "OracleResult",
+    "PAPER_EVAL",
+    "PAPER_UNIT",
+    "PROFILES",
+    "PowerPolicy",
+    "ScaledBreakevenPolicy",
+    "STATE_ORDER",
+    "TwoCompetitivePolicy",
+    "always_on_interval_energy",
+    "breakeven_time",
+    "breakeven_time_with_standby",
+    "competitive_ratio_bound",
+    "empirical_competitive_ratio",
+    "get_profile",
+    "idle_interval_energy",
+    "optimal_gap_energy",
+    "oracle_energy",
+    "two_cpm_energy",
+]

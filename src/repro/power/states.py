@@ -1,0 +1,44 @@
+"""Disk power states.
+
+The paper's disk model (Section 2.1 and Appendix B) uses five states:
+
+* ``ACTIVE`` — the head is servicing an I/O (milliseconds per request).
+* ``IDLE`` — platters spinning, no I/O in flight; full idle power ``P_I``.
+* ``STANDBY`` — platters stopped; roughly one tenth of idle power.
+* ``SPIN_UP`` / ``SPIN_DOWN`` — transitions between standby and idle, taking
+  ``Tup`` / ``Tdown`` seconds and ``Eup`` / ``Edown`` joules.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DiskPowerState(Enum):
+    """Power state of a simulated disk."""
+
+    STANDBY = "standby"
+    SPIN_UP = "spin-up"
+    IDLE = "idle"
+    ACTIVE = "active"
+    SPIN_DOWN = "spin-down"
+
+    @property
+    def is_spinning(self) -> bool:
+        """True when the platters are at full speed (can service I/O)."""
+        return self in (DiskPowerState.IDLE, DiskPowerState.ACTIVE)
+
+    @property
+    def is_transitioning(self) -> bool:
+        """True during a spin-up or spin-down transition."""
+        return self in (DiskPowerState.SPIN_UP, DiskPowerState.SPIN_DOWN)
+
+
+#: Canonical ordering used by reports (matches the paper's Fig. 9 legend).
+STATE_ORDER = (
+    DiskPowerState.STANDBY,
+    DiskPowerState.ACTIVE,
+    DiskPowerState.IDLE,
+    DiskPowerState.SPIN_UP,
+    DiskPowerState.SPIN_DOWN,
+)

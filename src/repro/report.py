@@ -1,0 +1,179 @@
+"""Run reports: response times, energy, spin counts, breakdowns.
+
+:class:`MetricsCollector` receives per-request completion callbacks during a
+run; :class:`SimulationReport` is the immutable result bundle every
+experiment consumes. The report exposes exactly the quantities the paper
+plots: total energy (Fig. 6/14), spin operations (Fig. 7/15), mean response
+time (Fig. 8/16), response-time distribution (Fig. 12/13) and per-disk
+state-time breakdowns (Fig. 9/17).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.disk.stats import DiskStats
+from repro.errors import SimulationError
+from repro.power.states import DiskPowerState
+from repro.types import DiskId, Request, RequestId
+
+
+class MetricsCollector:
+    """Accumulates per-request completions during a simulation."""
+
+    def __init__(self) -> None:
+        self._response_times: List[float] = []
+        self._completions: Dict[RequestId, Tuple[DiskId, float]] = {}
+
+    def on_complete(self, request: Request, disk_id: DiskId, now: float) -> None:
+        """Record one completion (response time = now - arrival)."""
+        response = now - request.time
+        if response < 0:
+            raise SimulationError(
+                f"request {request.request_id} completed before it arrived"
+            )
+        self._response_times.append(response)
+        self._completions[request.request_id] = (disk_id, now)
+
+    @property
+    def response_times(self) -> List[float]:
+        return list(self._response_times)
+
+    @property
+    def completed(self) -> int:
+        return len(self._response_times)
+
+    def completion_of(self, request_id: RequestId) -> Tuple[DiskId, float]:
+        """(disk, completion time) of a finished request."""
+        return self._completions[request_id]
+
+    def disk_of(self, request_id: RequestId) -> DiskId:
+        """The disk that serviced a finished request."""
+        return self._completions[request_id][0]
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted values.
+
+    Args:
+        sorted_values: Non-empty ascending sequence.
+        fraction: In [0, 1]; 0.9 gives the paper's 90th percentile.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Immutable results of one simulation run.
+
+    Attributes:
+        scheduler_name: Scheduler that produced the run.
+        duration: Simulated seconds covered (trace span + drain time).
+        total_energy: Joules summed over all disks.
+        disk_stats: Final per-disk ledgers (state time, spin counts).
+        response_times: Per-request response times, arrival order.
+        requests_offered: Requests fed into the system.
+        requests_completed: Requests whose I/O finished before the end.
+        cache_hits / cache_misses: Block-cache counters (0 = no cache).
+    """
+
+    scheduler_name: str
+    duration: float
+    total_energy: float
+    disk_stats: Mapping[DiskId, DiskStats]
+    response_times: Sequence[float] = field(repr=False)
+    requests_offered: int = 0
+    requests_completed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times) / len(self.response_times)
+
+    def response_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the response times."""
+        return percentile(sorted(self.response_times), fraction)
+
+    @property
+    def spin_ups(self) -> int:
+        return sum(stats.spin_ups for stats in self.disk_stats.values())
+
+    @property
+    def spin_downs(self) -> int:
+        return sum(stats.spin_downs for stats in self.disk_stats.values())
+
+    @property
+    def spin_operations(self) -> int:
+        """Total spin-up + spin-down operations (Fig. 7 metric)."""
+        return self.spin_ups + self.spin_downs
+
+    def state_time_totals(self) -> Dict[DiskPowerState, float]:
+        """Seconds per power state summed over all disks."""
+        totals = {state: 0.0 for state in DiskPowerState}
+        for stats in self.disk_stats.values():
+            for state, seconds in stats.state_time.items():
+                totals[state] += seconds
+        return totals
+
+    def per_disk_fractions(self) -> List[Dict[DiskPowerState, float]]:
+        """Per-disk state fractions sorted by descending standby share.
+
+        This is the exact x-axis ordering of the paper's Fig. 9 ("disks
+        sorted by their standby time").
+        """
+        fractions = [stats.state_fractions() for stats in self.disk_stats.values()]
+        fractions.sort(key=lambda f: f[DiskPowerState.STANDBY], reverse=True)
+        return fractions
+
+    def normalized_energy(self, baseline_energy: float) -> float:
+        """Energy relative to a baseline run (the always-on config)."""
+        if baseline_energy <= 0:
+            raise ValueError("baseline energy must be positive")
+        return self.total_energy / baseline_energy
+
+    def inverse_cdf(
+        self, thresholds: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """``P[response time > x]`` for each ``x`` (Fig. 12)."""
+        values = sorted(self.response_times)
+        n = len(values)
+        points: List[Tuple[float, float]] = []
+        if n == 0:
+            return [(x, 0.0) for x in thresholds]
+        for x in thresholds:
+            count_greater = n - bisect.bisect_right(values, x)
+            points.append((x, count_greater / n))
+        return points
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        lines = [
+            f"scheduler            : {self.scheduler_name}",
+            f"duration             : {self.duration:.1f} s",
+            f"total energy         : {self.total_energy:.0f} J",
+            f"spin ups / downs     : {self.spin_ups} / {self.spin_downs}",
+            f"requests             : {self.requests_completed}/"
+            f"{self.requests_offered} completed",
+        ]
+        if self.response_times:
+            lines.append(
+                f"mean / p90 response  : {self.mean_response_time * 1e3:.1f} ms / "
+                f"{self.response_percentile(0.9) * 1e3:.1f} ms"
+            )
+        return "\n".join(lines)

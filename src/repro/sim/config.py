@@ -1,0 +1,85 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cache.policy import BlockCache
+from repro.disk.service import AnalyticServiceModel, ServiceTimeModel
+from repro.errors import ConfigurationError
+from repro.power.policy import PowerPolicy, TwoCompetitivePolicy
+from repro.power.profile import BARRACUDA, DiskPowerProfile
+from repro.power.states import DiskPowerState
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything about a run except the workload and the scheduler.
+
+    Attributes:
+        num_disks: ``|D|`` — the paper uses 180.
+        profile: Disk power model (paper: Barracuda-like numbers).
+        policy: Power-management policy (paper: 2CPM).
+        service_model: Per-request I/O time model (paper: Disksim; here
+            the analytic seek+rotate+transfer model). Shared by all disks —
+            fine for stateless models.
+        service_model_factory: Optional per-disk model constructor; wins
+            over ``service_model`` when set (use for stateful models like
+            :class:`~repro.disk.service.PositionAwareServiceModel`).
+        seed: Seed for service-time draws (per-disk RNGs derive from it).
+        horizon: Fixed end-of-simulation time. ``None`` derives
+            ``last arrival + TB + Tup + Tdown + drain slack`` so different
+            schedulers of one experiment share a horizon and their
+            energies are directly comparable.
+        drain_slack: Extra seconds appended to the derived horizon.
+        initial_state: STANDBY (paper's assumption) or IDLE.
+        cache_factory: Optional block-cache constructor (one fresh cache
+            per run); see :mod:`repro.cache`. ``None`` = no cache, the
+            paper's configuration.
+        cache_hit_time: Response time charged to a cache hit.
+        record_transitions: Keep per-disk ``(time, state)`` transition
+            logs (memory-proportional to spin activity) for the
+            state-period analyses.
+    """
+
+    num_disks: int
+    profile: DiskPowerProfile = BARRACUDA
+    policy: PowerPolicy = field(default_factory=TwoCompetitivePolicy)
+    service_model: ServiceTimeModel = field(default_factory=AnalyticServiceModel)
+    service_model_factory: Optional[Callable[[], ServiceTimeModel]] = None
+    seed: int = 0
+    horizon: Optional[float] = None
+    drain_slack: float = 30.0
+    initial_state: DiskPowerState = DiskPowerState.STANDBY
+    cache_factory: Optional[Callable[[], BlockCache]] = None
+    cache_hit_time: float = 0.0002
+    record_transitions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_disks <= 0:
+            raise ConfigurationError("num_disks must be positive")
+        if self.horizon is not None and self.horizon < 0:
+            raise ConfigurationError("horizon must be >= 0")
+        if self.drain_slack < 0:
+            raise ConfigurationError("drain_slack must be >= 0")
+        if self.cache_hit_time < 0:
+            raise ConfigurationError("cache_hit_time must be >= 0")
+
+    def make_service_model(self) -> ServiceTimeModel:
+        """The service model for one disk (fresh instance when a factory
+        is configured, the shared one otherwise)."""
+        if self.service_model_factory is not None:
+            return self.service_model_factory()
+        return self.service_model
+
+    def derived_horizon(self, last_arrival: float) -> float:
+        """The horizon used when none is pinned explicitly."""
+        if self.horizon is not None:
+            return self.horizon
+        return (
+            last_arrival
+            + self.profile.breakeven_time
+            + self.profile.transition_time
+            + self.drain_slack
+        )

@@ -1,0 +1,141 @@
+"""Deterministic discrete-event simulation engine (OMNeT++ substitute).
+
+The engine is a binary-heap event queue with a monotonic clock. Events are
+plain callables; insertion order breaks timestamp ties so runs are fully
+deterministic. Timers can be cancelled (lazily — cancelled entries are
+skipped on pop), which the 2CPM idleness timer relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule`; cancellable."""
+
+    __slots__ = ("time", "_cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe after it fired)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class SimulationEngine:
+    """Event loop with a monotonic simulated clock.
+
+    Typical use::
+
+        engine = SimulationEngine()
+        engine.schedule(10.0, lambda: print("fired at", engine.now))
+        engine.run()
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: List[Tuple[float, int, EventHandle, EventCallback]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled-but-unpopped ones)."""
+        return len(self._queue)
+
+    def schedule(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback))
+        return handle
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if drained."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Process one event. Returns False when the queue is drained."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return False
+        time, _seq, handle, callback = heapq.heappop(self._queue)
+        self._now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: Stop once the next event would be strictly after this
+                time; the clock is advanced to ``until``.
+            max_events: Safety valve against runaway feedback loops.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not re-entrant")
+        self._running = True
+        try:
+            processed = 0
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                self.step()
+                processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)

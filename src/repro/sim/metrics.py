@@ -1,0 +1,10 @@
+"""Backwards-compatible alias: metrics live in :mod:`repro.report`.
+
+Kept so ``repro.sim.metrics`` imports keep working; the classes moved to a
+top-level module to keep :mod:`repro.core` free of any dependency on the
+:mod:`repro.sim` package (no import cycles).
+"""
+
+from repro.report import MetricsCollector, SimulationReport, percentile
+
+__all__ = ["MetricsCollector", "SimulationReport", "percentile"]

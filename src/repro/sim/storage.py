@@ -1,0 +1,204 @@
+"""The storage system: scheduler + disks + placement wired to the engine.
+
+:class:`StorageSystem` is the moral equivalent of the paper's OMNeT++
+model (Fig. 1): requests arrive at a scheduler which dispatches them to
+disks according to the data placement; a power manager (the policy inside
+each :class:`~repro.disk.drive.SimulatedDisk`) spins idle disks down.
+
+It also *is* the :class:`~repro.core.scheduler.SystemView` the schedulers
+observe — ``now``, per-disk state/queue/Tlast, and placement lookups.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import BatchScheduler, OnlineScheduler, Scheduler
+from repro.disk.drive import SimulatedDisk
+from repro.errors import SchedulingError, SimulationError
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import DiskPowerProfile
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.report import MetricsCollector, SimulationReport
+from repro.types import DataId, DiskId, OpKind, Request
+
+
+class StorageSystem:
+    """One simulated storage system instance (single-use: one run)."""
+
+    def __init__(
+        self,
+        catalog: PlacementCatalog,
+        scheduler: Scheduler,
+        config: SimulationConfig,
+    ):
+        if not isinstance(scheduler, (OnlineScheduler, BatchScheduler)):
+            raise SchedulingError(
+                "StorageSystem drives online/batch schedulers; use "
+                "run_offline() for offline schedulers"
+            )
+        self._catalog = catalog
+        self._scheduler = scheduler
+        self._config = config
+        self._engine = SimulationEngine()
+        self._metrics = MetricsCollector()
+        self._disks: Dict[DiskId, SimulatedDisk] = {
+            disk_id: SimulatedDisk(
+                disk_id=disk_id,
+                engine=self._engine,
+                profile=config.profile,
+                policy=config.policy,
+                service_model=config.make_service_model(),
+                rng=random.Random(config.seed * 1_000_003 + disk_id),
+                on_complete=self._metrics.on_complete,
+                initial_state=config.initial_state,
+                record_transitions=config.record_transitions,
+            )
+            for disk_id in range(config.num_disks)
+        }
+        self._batch_buffer: List[Request] = []
+        self._tick_scheduled = False
+        self._offered = 0
+        self._ran = False
+        self.cache = config.cache_factory() if config.cache_factory else None
+
+    # -- SystemView protocol -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def profile(self) -> DiskPowerProfile:
+        return self._config.profile
+
+    @property
+    def disk_ids(self) -> range:
+        return range(self._config.num_disks)
+
+    def disk(self, disk_id: DiskId) -> SimulatedDisk:
+        """Live view of one disk (SystemView protocol)."""
+        return self._disks[disk_id]
+
+    def locations(self, data_id: DataId) -> Tuple[DiskId, ...]:
+        """Placement lookup (SystemView protocol)."""
+        return self._catalog.locations(data_id)
+
+    # -- driving the run -------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> SimulationReport:
+        """Replay ``requests`` and return the final report."""
+        if self._ran:
+            raise SimulationError("StorageSystem instances are single-use")
+        self._ran = True
+        ordered = sorted(requests)
+        self._offered = len(ordered)
+        for request in ordered:
+            self._engine.schedule(request.time, _Arrival(self, request))
+        last_arrival = ordered[-1].time if ordered else 0.0
+        horizon = self._config.derived_horizon(last_arrival)
+        self._engine.run(until=horizon)
+        for disk in self._disks.values():
+            disk.finalize()
+        return SimulationReport(
+            scheduler_name=self._scheduler.name,
+            duration=self._engine.now,
+            total_energy=sum(d.stats.energy for d in self._disks.values()),
+            disk_stats={d_id: d.stats for d_id, d in self._disks.items()},
+            response_times=self._metrics.response_times,
+            requests_offered=self._offered,
+            requests_completed=self._metrics.completed,
+            cache_hits=self.cache.hits if self.cache else 0,
+            cache_misses=self.cache.misses if self.cache else 0,
+        )
+
+    # -- internal event handlers ------------------------------------------
+
+    def _on_arrival(self, request: Request) -> None:
+        if (
+            self.cache is not None
+            and request.op is OpKind.READ
+            and self.cache.lookup(request.data_id)
+        ):
+            self._complete_from_cache(request)
+            return
+        if isinstance(self._scheduler, OnlineScheduler):
+            disk_id = self._scheduler.choose(request, self)
+            self._dispatch(request, disk_id)
+        else:
+            self._batch_buffer.append(request)
+            self._ensure_tick()
+
+    def _ensure_tick(self) -> None:
+        if self._tick_scheduled:
+            return
+        assert isinstance(self._scheduler, BatchScheduler)
+        interval = self._scheduler.interval
+        next_tick = math.ceil(self._engine.now / interval) * interval
+        if next_tick <= self._engine.now:
+            next_tick += interval
+        self._engine.schedule(next_tick, self._on_tick)
+        self._tick_scheduled = True
+
+    def _on_tick(self) -> None:
+        self._tick_scheduled = False
+        if not self._batch_buffer:
+            return
+        assert isinstance(self._scheduler, BatchScheduler)
+        batch, self._batch_buffer = self._batch_buffer, []
+        decisions = self._scheduler.choose_batch(batch, self)
+        for request in batch:
+            try:
+                disk_id = decisions[request.request_id]
+            except KeyError:
+                raise SchedulingError(
+                    f"batch scheduler left request {request.request_id} undecided"
+                )
+            self._dispatch(request, disk_id)
+
+    def _dispatch(self, request: Request, disk_id: DiskId) -> None:
+        if disk_id not in self._disks:
+            raise SchedulingError(f"scheduler chose unknown disk {disk_id}")
+        # Reads must land on a replica; off-loaded writes may go anywhere
+        # (the write off-loading liberty, Section 2.1).
+        if request.op is OpKind.READ and disk_id not in self._catalog.locations(
+            request.data_id
+        ):
+            raise SchedulingError(
+                f"scheduler sent request {request.request_id} to disk {disk_id}, "
+                f"which does not hold data {request.data_id}"
+            )
+        self._disks[disk_id].submit(request)
+        if self.cache is not None and request.op is OpKind.READ:
+            self.cache.insert(
+                request.data_id, disk_id, lambda d: self._disks[d].state
+            )
+
+    def _complete_from_cache(self, request: Request) -> None:
+        """Serve a read from the cache: no disk is touched."""
+        home = self.cache.home_disk(request.data_id)
+
+        def deliver() -> None:
+            self._metrics.on_complete(request, home, self._engine.now)
+
+        delay = self._config.cache_hit_time
+        if delay > 0:
+            self._engine.schedule_after(delay, deliver)
+        else:
+            deliver()
+
+
+class _Arrival:
+    """Arrival-event callback carrying its request (picklable/debuggable)."""
+
+    __slots__ = ("_system", "_request")
+
+    def __init__(self, system: StorageSystem, request: Request):
+        self._system = system
+        self._request = request
+
+    def __call__(self) -> None:
+        self._system._on_arrival(self._request)

@@ -1,0 +1,125 @@
+"""Tests for the MWIS solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.graph import ConflictGraph
+from repro.algorithms.independent_set import (
+    exact_mwis,
+    greedy_min_degree,
+    gwmin,
+    gwmin2,
+    gwmin_weight_bound,
+    independence_check,
+    solve_mwis,
+)
+from repro.errors import ConfigurationError
+
+
+def path_graph(weights):
+    graph = ConflictGraph()
+    for index, weight in enumerate(weights):
+        graph.add_node(index, weight)
+    for index in range(len(weights) - 1):
+        graph.add_edge(index, index + 1)
+    return graph
+
+
+def random_graph(rng, n, edge_probability=0.3):
+    graph = ConflictGraph()
+    for node in range(n):
+        graph.add_node(node, rng.uniform(0.0, 10.0))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+ALL_SOLVERS = (gwmin, gwmin2, greedy_min_degree, exact_mwis)
+
+
+class TestIndependence:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_solution_is_independent(self, solver):
+        rng = random.Random(17)
+        for _ in range(10):
+            graph = random_graph(rng, 15)
+            independence_check(graph, solver(graph))
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_empty_graph(self, solver):
+        assert solver(ConflictGraph()) == []
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_isolated_nodes_all_selected(self, solver):
+        graph = ConflictGraph()
+        for node in range(5):
+            graph.add_node(node, 1.0)
+        assert sorted(solver(graph)) == [0, 1, 2, 3, 4]
+
+
+class TestOptimality:
+    def test_exact_on_path(self):
+        # Path weights 1-9-1: optimum is the middle node alone (9).
+        graph = path_graph([1.0, 9.0, 1.0])
+        assert exact_mwis(graph) == [1]
+
+    def test_exact_on_alternating_path(self):
+        # Path 5-1-5-1-5: optimum = the three 5s.
+        graph = path_graph([5.0, 1.0, 5.0, 1.0, 5.0])
+        assert sorted(exact_mwis(graph)) == [0, 2, 4]
+
+    def test_gwmin_matches_exact_on_easy_instances(self):
+        graph = path_graph([1.0, 9.0, 1.0])
+        assert gwmin(graph) == [1]
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_never_beats_exact(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, rng.randint(2, 12))
+        optimal = graph.total_weight(exact_mwis(graph))
+        for greedy in (gwmin, gwmin2, greedy_min_degree):
+            assert graph.total_weight(greedy(graph)) <= optimal + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_gwmin_meets_sakai_bound(self, seed):
+        """Sakai et al. guarantee: GWMIN weight >= sum w(v)/(deg(v)+1)."""
+        rng = random.Random(seed)
+        graph = random_graph(rng, rng.randint(2, 15))
+        achieved = graph.total_weight(gwmin(graph))
+        assert achieved >= gwmin_weight_bound(graph) - 1e-9
+
+
+class TestExactGuards:
+    def test_node_limit(self):
+        graph = ConflictGraph()
+        for node in range(41):
+            graph.add_node(node, 1.0)
+        with pytest.raises(ConfigurationError, match="limited"):
+            exact_mwis(graph)
+
+
+class TestDispatch:
+    def test_solve_mwis_methods(self):
+        graph = path_graph([1.0, 9.0, 1.0])
+        for method in ("gwmin", "gwmin2", "min-degree", "exact"):
+            result = solve_mwis(graph, method)
+            assert graph.is_independent_set(result)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError, match="unknown MWIS method"):
+            solve_mwis(ConflictGraph(), "magic")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_repeatable(self, solver):
+        rng = random.Random(5)
+        graph = random_graph(rng, 20)
+        assert solver(graph) == solver(graph)

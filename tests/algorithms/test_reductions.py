@@ -1,0 +1,218 @@
+"""Tests for the Theorem-3 reduction (MIS -> offline scheduling)."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.reductions import (
+    independent_set_from_schedule,
+    reduce_mis_to_scheduling,
+)
+from repro.core.mwis import MWISOfflineScheduler
+from repro.core.offline import OfflineEvaluator
+from repro.core.problem import SchedulingProblem
+from repro.errors import ConfigurationError
+from repro.types import Assignment
+
+
+def brute_force_mis(num_vertices, edges):
+    """Largest independent set by exhaustive search (tiny graphs)."""
+    edge_set = {frozenset(e) for e in edges}
+    best = set()
+    for r in range(num_vertices, -1, -1):
+        for subset in itertools.combinations(range(num_vertices), r):
+            if all(
+                frozenset((u, v)) not in edge_set
+                for u, v in itertools.combinations(subset, 2)
+            ):
+                return set(subset)
+    return best
+
+
+def solve_reduced(instance):
+    problem = SchedulingProblem.build(
+        instance.requests,
+        instance.catalog,
+        instance.profile,
+        num_disks=max(instance.catalog.disks) + 1,
+    )
+    scheduler = MWISOfflineScheduler(method="exact", neighborhood=None)
+    return problem, scheduler.schedule(problem)
+
+
+class TestInstanceConstruction:
+    def test_triangle_counts(self):
+        instance = reduce_mis_to_scheduling(3, [(0, 1), (1, 2), (0, 2)])
+        # 3 edges x (2 dummies + 1 edge request) = 9 requests.
+        assert len(instance.requests) == 9
+        assert len(instance.edge_request_of) == 3
+
+    def test_edge_requests_replicated_on_both_endpoints(self):
+        instance = reduce_mis_to_scheduling(2, [(0, 1)])
+        request_id = instance.edge_request_of[frozenset((0, 1))]
+        request = next(
+            r for r in instance.requests if r.request_id == request_id
+        )
+        assert set(instance.catalog.locations(request.data_id)) == {0, 1}
+
+    def test_dummies_single_location(self):
+        instance = reduce_mis_to_scheduling(2, [(0, 1)])
+        for request_id, vertex in instance.vertex_of_dummy.items():
+            request = next(
+                r for r in instance.requests if r.request_id == request_id
+            )
+            assert instance.catalog.locations(request.data_id) == (vertex,)
+
+    def test_duplicate_edges_collapsed(self):
+        instance = reduce_mis_to_scheduling(2, [(0, 1), (1, 0)])
+        assert len(instance.edge_request_of) == 1
+
+    def test_groups_spaced_beyond_window(self):
+        instance = reduce_mis_to_scheduling(3, [(0, 1), (1, 2)])
+        window = instance.profile.breakeven_time + instance.profile.transition_time
+        times = sorted({r.time for r in instance.requests})
+        # First group's times and second group's times differ by >> window.
+        assert times[-1] - times[0] > window
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reduce_mis_to_scheduling(2, [(0, 0)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reduce_mis_to_scheduling(2, [(0, 5)])
+
+    def test_edgeless_graph_still_nonempty(self):
+        instance = reduce_mis_to_scheduling(3, [])
+        assert len(instance.requests) == 3
+
+
+class TestPaperGadgetProperties:
+    def test_decoded_set_is_independent(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]
+        instance = reduce_mis_to_scheduling(5, edges)
+        _problem, assignment = solve_reduced(instance)
+        decoded = independent_set_from_schedule(instance, assignment)
+        edge_set = {frozenset(e) for e in edges}
+        for u in decoded:
+            for v in decoded:
+                if u != v:
+                    assert frozenset((u, v)) not in edge_set
+
+    def test_each_group_saves_exactly_one_epmax(self):
+        """Per edge group, exactly one dummy chains with the edge request."""
+        edges = [(0, 1), (1, 2)]
+        instance = reduce_mis_to_scheduling(3, edges)
+        problem, assignment = solve_reduced(instance)
+        evaluation = OfflineEvaluator(problem).evaluate(assignment)
+        epmax = instance.profile.max_request_energy
+        # Each group saves (EPmax - eps idle) where eps is the dummy->edge
+        # request offset the construction used.
+        group_times = sorted({r.time for r in problem.requests})
+        epsilon = group_times[1] - group_times[0]
+        epsilon_cost = epsilon * instance.profile.idle_power
+        expected = len(problem.requests) * epmax - len(edges) * (
+            epmax - epsilon_cost
+        )
+        assert evaluation.objective_energy == pytest.approx(expected)
+
+    def test_objective_is_invariant_to_edge_placement(self):
+        """Fidelity regression: the paper's Theorem-3 gadget, implemented
+        literally, gives the same energy for every edge-request placement
+        (the proof sketch's 'easy to show' step glosses this)."""
+        edges = [(0, 1), (1, 2)]
+        instance = reduce_mis_to_scheduling(3, edges)
+        problem = SchedulingProblem.build(
+            instance.requests,
+            instance.catalog,
+            instance.profile,
+            num_disks=max(instance.catalog.disks) + 1,
+        )
+        energies = set()
+        for choice_a in (0, 1):
+            for choice_b in (1, 2):
+                assignment = Assignment(problem.requests)
+                for rid, vertex in instance.vertex_of_dummy.items():
+                    assignment.assign(rid, vertex)
+                assignment.assign(
+                    instance.edge_request_of[frozenset((0, 1))], choice_a
+                )
+                assignment.assign(
+                    instance.edge_request_of[frozenset((1, 2))], choice_b
+                )
+                evaluation = OfflineEvaluator(problem).evaluate(assignment)
+                energies.add(round(evaluation.objective_energy, 9))
+        assert len(energies) == 1
+
+
+class TestSetCoverReduction:
+    """The rigorous NP-hardness route: min set cover -> offline scheduling."""
+
+    def exact_schedule(self, requests, catalog):
+        num_disks = max(catalog.disks) + 1
+        problem = SchedulingProblem.build(
+            requests, catalog, reduce_mis_to_scheduling(1, []).profile, num_disks
+        )
+        scheduler = MWISOfflineScheduler(method="exact", neighborhood=None)
+        return problem, scheduler.schedule(problem)
+
+    def test_energy_counts_used_disks(self):
+        from repro.algorithms.reductions import reduce_set_cover_to_scheduling
+
+        requests, catalog = reduce_set_cover_to_scheduling(
+            universe=[0, 1, 2, 3],
+            sets={0: [0, 1], 1: [2, 3], 2: [0, 1, 2, 3]},
+        )
+        problem, assignment = self.exact_schedule(requests, catalog)
+        evaluation = OfflineEvaluator(problem).evaluate(assignment)
+        epmax = problem.profile.max_request_energy
+        # Minimum cover = {set 2} alone -> one disk -> energy EPmax.
+        assert evaluation.objective_energy == pytest.approx(epmax)
+
+    def test_round_trip_against_exact_set_cover(self):
+        import random
+
+        from repro.algorithms.reductions import (
+            cover_from_schedule,
+            reduce_set_cover_to_scheduling,
+        )
+        from repro.algorithms.set_cover import (
+            SetCoverInstance,
+            exact_weighted_set_cover,
+        )
+
+        rng = random.Random(11)
+        for _trial in range(8):
+            n = rng.randint(3, 4)
+            universe = list(range(n))
+            sets = {0: universe[: max(1, n // 2)], 1: universe[n // 2 :]}
+            sets[2] = rng.sample(universe, rng.randint(1, n))
+            sets[99] = universe  # guarantee coverability
+            requests, catalog = reduce_set_cover_to_scheduling(universe, sets)
+            problem, assignment = self.exact_schedule(requests, catalog)
+            evaluation = OfflineEvaluator(problem).evaluate(assignment)
+            used = cover_from_schedule(assignment)
+
+            instance = SetCoverInstance.build(
+                universe,
+                {k: list(v) for k, v in sets.items()},
+                {k: 1.0 for k in sets},
+            )
+            optimal = exact_weighted_set_cover(instance)
+            epmax = problem.profile.max_request_energy
+            assert evaluation.objective_energy == pytest.approx(
+                len(optimal) * epmax
+            )
+            assert len(used) == len(optimal)
+
+    def test_uncoverable_rejected(self):
+        from repro.algorithms.reductions import reduce_set_cover_to_scheduling
+
+        with pytest.raises(ConfigurationError):
+            reduce_set_cover_to_scheduling([0, 1], {0: [0]})
+
+    def test_empty_universe_rejected(self):
+        from repro.algorithms.reductions import reduce_set_cover_to_scheduling
+
+        with pytest.raises(ConfigurationError):
+            reduce_set_cover_to_scheduling([], {0: [0]})

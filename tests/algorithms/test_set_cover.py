@@ -1,0 +1,145 @@
+"""Tests for the weighted set cover solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.set_cover import (
+    SetCoverInstance,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    harmonic_number,
+)
+from repro.errors import ConfigurationError
+
+
+def make(universe, sets, weights):
+    return SetCoverInstance.build(universe, sets, weights)
+
+
+class TestInstance:
+    def test_uncoverable_universe_rejected(self):
+        with pytest.raises(ConfigurationError, match="not coverable"):
+            make([1, 2], {"s": [1]}, {"s": 1.0})
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="no weight"):
+            SetCoverInstance.build([1], {"s": [1]}, {})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            make([1], {"s": [1]}, {"s": -1.0})
+
+    def test_extraneous_elements_trimmed(self):
+        instance = make([1], {"s": [1, 99]}, {"s": 1.0})
+        assert instance.sets["s"] == frozenset({1})
+
+    def test_is_cover(self):
+        instance = make([1, 2], {"a": [1], "b": [2]}, {"a": 1, "b": 1})
+        assert instance.is_cover(["a", "b"])
+        assert not instance.is_cover(["a"])
+
+
+class TestGreedy:
+    def test_prefers_cheap_wide_sets(self):
+        instance = make(
+            [1, 2, 3],
+            {"wide": [1, 2, 3], "n1": [1], "n2": [2], "n3": [3]},
+            {"wide": 1.5, "n1": 1.0, "n2": 1.0, "n3": 1.0},
+        )
+        assert greedy_weighted_set_cover(instance) == ["wide"]
+
+    def test_zero_weight_sets_are_free(self):
+        instance = make(
+            [1, 2],
+            {"free": [1], "paid": [1, 2]},
+            {"free": 0.0, "paid": 5.0},
+        )
+        chosen = greedy_weighted_set_cover(instance)
+        assert chosen[0] == "free"
+        assert set(chosen) == {"free", "paid"}
+
+    def test_classic_greedy_trap_still_covers(self):
+        # The instance where greedy is suboptimal but must still cover.
+        instance = make(
+            [1, 2, 3, 4],
+            {"big": [1, 2, 3], "left": [1, 2], "right": [3, 4]},
+            {"big": 1.0, "left": 1.0, "right": 1.0},
+        )
+        chosen = greedy_weighted_set_cover(instance)
+        assert instance.is_cover(chosen)
+
+    def test_deterministic(self):
+        instance = make(
+            list(range(10)),
+            {f"s{i}": [i, (i + 1) % 10] for i in range(10)},
+            {f"s{i}": 1.0 + i * 0.1 for i in range(10)},
+        )
+        assert greedy_weighted_set_cover(instance) == greedy_weighted_set_cover(
+            instance
+        )
+
+    def test_greedy_within_harmonic_factor_of_exact(self):
+        rng = random.Random(0)
+        for _trial in range(25):
+            n_elements = rng.randint(3, 8)
+            n_sets = rng.randint(3, 7)
+            universe = list(range(n_elements))
+            sets = {}
+            for s in range(n_sets):
+                size = rng.randint(1, n_elements)
+                sets[s] = rng.sample(universe, size)
+            # Guarantee coverability.
+            sets["all"] = universe
+            weights = {k: rng.uniform(0.1, 5.0) for k in sets}
+            instance = make(universe, sets, weights)
+            greedy = instance.cover_weight(greedy_weighted_set_cover(instance))
+            optimal = instance.cover_weight(exact_weighted_set_cover(instance))
+            assert greedy <= harmonic_number(n_elements) * optimal + 1e-9
+
+
+class TestExact:
+    def test_finds_cheaper_cover_than_naive(self):
+        instance = make(
+            [1, 2, 3, 4],
+            {"a": [1, 2], "b": [3, 4], "c": [1, 2, 3, 4]},
+            {"a": 1.0, "b": 1.0, "c": 1.5},
+        )
+        chosen = exact_weighted_set_cover(instance)
+        assert instance.cover_weight(chosen) == pytest.approx(1.5)
+
+    def test_too_many_sets_rejected(self):
+        universe = [0]
+        sets = {i: [0] for i in range(30)}
+        weights = {i: 1.0 for i in range(30)}
+        instance = make(universe, sets, weights)
+        with pytest.raises(ConfigurationError, match="limited"):
+            exact_weighted_set_cover(instance)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_never_worse_than_greedy(self, seed):
+        rng = random.Random(seed)
+        n_elements = rng.randint(2, 7)
+        universe = list(range(n_elements))
+        sets = {"all": universe}
+        for s in range(rng.randint(1, 6)):
+            sets[s] = rng.sample(universe, rng.randint(1, n_elements))
+        weights = {k: rng.uniform(0.0, 4.0) for k in sets}
+        instance = make(universe, sets, weights)
+        greedy = instance.cover_weight(greedy_weighted_set_cover(instance))
+        optimal = instance.cover_weight(exact_weighted_set_cover(instance))
+        assert optimal <= greedy + 1e-9
+
+
+class TestHarmonic:
+    def test_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == 1.5
+        assert harmonic_number(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_number(-1)

@@ -1,0 +1,83 @@
+"""Tests for distribution helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import (
+    inverse_cdf,
+    log_spaced_thresholds,
+    mean,
+    nearest_rank_percentile,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInverseCdf:
+    def test_basic_points(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        points = dict(inverse_cdf(values, [0.5, 2.0, 4.0, 5.0]))
+        assert points[0.5] == 1.0       # all greater
+        assert points[2.0] == 0.5       # strictly greater than 2: {3, 4}
+        assert points[4.0] == 0.0
+        assert points[5.0] == 0.0
+
+    def test_empty_values(self):
+        assert inverse_cdf([], [1.0]) == [(1.0, 0.0)]
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=100), min_size=1),
+        x=st.floats(min_value=-1, max_value=101),
+    )
+    def test_probability_in_unit_interval(self, values, x):
+        (_x, p), = inverse_cdf(values, [x])
+        assert 0.0 <= p <= 1.0
+
+    def test_monotone_nonincreasing(self):
+        values = [0.1, 0.5, 2.5, 9.0]
+        points = inverse_cdf(values, [0.0, 1.0, 5.0, 10.0])
+        probs = [p for _x, p in points]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert nearest_rank_percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_p90_of_uniform_grid(self):
+        values = [float(i) for i in range(1, 101)]
+        assert nearest_rank_percentile(values, 0.9) == 90.0
+
+    def test_extremes(self):
+        values = [5.0, 7.0, 9.0]
+        assert nearest_rank_percentile(values, 0.0) == 5.0
+        assert nearest_rank_percentile(values, 1.0) == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nearest_rank_percentile([], 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nearest_rank_percentile([1.0], 1.5)
+
+
+class TestThresholds:
+    def test_log_spacing(self):
+        thresholds = log_spaced_thresholds(0.001, 10.0, points_per_decade=1)
+        assert thresholds == pytest.approx([0.001, 0.01, 0.1, 1.0, 10.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            log_spaced_thresholds(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            log_spaced_thresholds(1.0, 0.5)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])

@@ -1,0 +1,60 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_breakdown, format_series_table, format_table
+from repro.errors import ConfigurationError
+from repro.power.states import STATE_ORDER, DiskPowerState
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len({line.index("bbb") for line in lines[:1]}) == 1
+        assert lines[1].startswith("-")
+
+    def test_title_included(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSeriesTable:
+    def test_one_row_per_x(self):
+        text = format_series_table(
+            "rf", [1, 2, 3], {"s": [0.1, 0.2, 0.3]}
+        )
+        assert len(text.splitlines()) == 2 + 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_series_table("x", [1, 2], {"s": [1.0]})
+
+    def test_precision_respected(self):
+        text = format_series_table(
+            "x", [1], {"s": [0.123456]}, precision=2
+        )
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+
+class TestBreakdown:
+    def test_samples_rows(self):
+        fractions = [
+            {state: (1.0 if state is DiskPowerState.STANDBY else 0.0) for state in DiskPowerState}
+            for _ in range(100)
+        ]
+        text = format_breakdown(fractions, STATE_ORDER, max_rows=5)
+        # 5 sampled rows + header + separator.
+        assert len(text.splitlines()) == 7
+
+    def test_empty(self):
+        assert "no disks" in format_breakdown([], STATE_ORDER)

@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's worked example and small workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import BARRACUDA, PAPER_EVAL, PAPER_UNIT
+from repro.types import Request
+
+
+@pytest.fixture
+def paper_catalog() -> PlacementCatalog:
+    """The Fig. 2/3 placement: b1..b6 over d1..d4 (0-based ids).
+
+    d1 = {b1, b2, b3, b5}, d2 = {b2, b3}, d3 = {b4, b6}, d4 = {b3, b4, b5, b6}.
+    """
+    return PlacementCatalog(
+        {
+            0: [0],
+            1: [0, 1],
+            2: [0, 1, 3],
+            3: [2, 3],
+            4: [0, 3],
+            5: [2, 3],
+        }
+    )
+
+
+@pytest.fixture
+def paper_requests() -> list:
+    """Fig. 3 arrival times: r1..r6 at 0, 1, 3, 5, 12, 13; ri wants bi."""
+    times = [0.0, 1.0, 3.0, 5.0, 12.0, 13.0]
+    return [
+        Request(time=t, request_id=i, data_id=i) for i, t in enumerate(times)
+    ]
+
+
+@pytest.fixture
+def paper_problem(paper_requests, paper_catalog) -> SchedulingProblem:
+    return SchedulingProblem.build(paper_requests, paper_catalog, PAPER_UNIT, 4)
+
+
+@pytest.fixture
+def batch_requests() -> list:
+    """Fig. 2 batch variant: all six requests arrive at time 0."""
+    return [Request(time=0.0, request_id=i, data_id=i) for i in range(6)]
+
+
+@pytest.fixture
+def batch_problem(batch_requests, paper_catalog) -> SchedulingProblem:
+    return SchedulingProblem.build(batch_requests, paper_catalog, PAPER_UNIT, 4)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def unit_profile():
+    return PAPER_UNIT
+
+
+@pytest.fixture
+def barracuda():
+    return BARRACUDA
+
+
+@pytest.fixture
+def eval_profile():
+    return PAPER_EVAL

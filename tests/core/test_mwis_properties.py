@@ -1,0 +1,127 @@
+"""Property-based tests of the MWIS scheduler and offline evaluator.
+
+Random small scheduling problems are generated with hypothesis; the
+invariants checked are the load-bearing claims of Section 3.1:
+
+* the derived schedule is always feasible;
+* the selected terms form an independent set (constraints hold);
+* the MWIS weight never exceeds the schedule's true saving (the
+  interleaving subtlety makes it a lower bound, not an equality);
+* objective energy == N * EPmax - true saving (the formulation identity);
+* the exact solver is never beaten by any feasible schedule (optimality
+  on brute-forceable instances).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mwis import MWISOfflineScheduler
+from repro.core.offline import OfflineEvaluator
+from repro.core.problem import SchedulingProblem
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import PAPER_UNIT
+from repro.types import Assignment, Request
+
+
+@st.composite
+def small_problems(draw):
+    num_disks = draw(st.integers(min_value=1, max_value=4))
+    num_requests = draw(st.integers(min_value=1, max_value=7))
+    locations = {}
+    for data_id in range(num_requests):
+        count = draw(st.integers(min_value=1, max_value=num_disks))
+        disks = draw(
+            st.permutations(range(num_disks)).map(lambda p: list(p)[:count])
+        )
+        locations[data_id] = disks
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=30.0),
+                min_size=num_requests,
+                max_size=num_requests,
+            )
+        )
+    )
+    requests = [
+        Request(time=t, request_id=i, data_id=i) for i, t in enumerate(times)
+    ]
+    return SchedulingProblem.build(
+        requests, PlacementCatalog(locations), PAPER_UNIT, num_disks
+    )
+
+
+@given(problem=small_problems())
+@settings(max_examples=60, deadline=None)
+def test_schedule_always_feasible(problem):
+    assignment = MWISOfflineScheduler(neighborhood=None).schedule(problem)
+    problem.validate_schedule(assignment)
+
+
+@given(problem=small_problems())
+@settings(max_examples=60, deadline=None)
+def test_selected_terms_are_conflict_free(problem):
+    result = MWISOfflineScheduler(neighborhood=None).schedule_detailed(problem)
+    for a, b in itertools.combinations(result.selected, 2):
+        assert not a.conflicts_with(b)
+
+
+@given(problem=small_problems())
+@settings(max_examples=60, deadline=None)
+def test_estimated_saving_is_lower_bound(problem):
+    result = MWISOfflineScheduler(neighborhood=None).schedule_detailed(problem)
+    evaluation = OfflineEvaluator(problem).evaluate(result.assignment)
+    assert result.estimated_saving <= evaluation.total_saving + 1e-6
+
+
+@given(problem=small_problems())
+@settings(max_examples=60, deadline=None)
+def test_objective_identity(problem):
+    """energy(schedule) = N * EPmax - saving(schedule)."""
+    assignment = MWISOfflineScheduler(neighborhood=None).schedule(problem)
+    evaluation = OfflineEvaluator(problem).evaluate(assignment)
+    epmax = problem.profile.max_request_energy
+    assert evaluation.objective_energy == pytest.approx(
+        problem.num_requests * epmax - evaluation.total_saving
+    )
+
+
+@given(problem=small_problems())
+@settings(max_examples=25, deadline=None)
+def test_exact_mwis_schedule_is_optimal(problem):
+    """No brute-force schedule beats the exact-MWIS-derived one."""
+    result = MWISOfflineScheduler(
+        method="exact", neighborhood=None
+    ).schedule_detailed(problem)
+    evaluator = OfflineEvaluator(problem)
+    achieved = evaluator.evaluate(result.assignment).objective_energy
+
+    options = [problem.locations_of(r) for r in problem.requests]
+    total = 1
+    for opts in options:
+        total *= len(opts)
+    if total > 600:
+        return  # keep the brute force bounded
+    best = min(
+        evaluator.evaluate(
+            Assignment.from_mapping(
+                problem.requests,
+                {i: disk for i, disk in enumerate(combo)},
+            )
+        ).objective_energy
+        for combo in itertools.product(*options)
+    )
+    assert achieved == pytest.approx(best)
+
+
+@given(problem=small_problems())
+@settings(max_examples=40, deadline=None)
+def test_every_request_energy_bounded_by_epmax(problem):
+    assignment = MWISOfflineScheduler(neighborhood=None).schedule(problem)
+    evaluation = OfflineEvaluator(problem).evaluate(assignment)
+    epmax = problem.profile.max_request_energy
+    for energy in evaluation.request_energy.values():
+        assert -1e-9 <= energy <= epmax + 1e-9

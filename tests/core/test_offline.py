@@ -1,0 +1,141 @@
+"""Tests for the offline-model analytic evaluator."""
+
+import pytest
+
+from repro.core.offline import OfflineEvaluator, chain_energies
+from repro.core.problem import SchedulingProblem
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import BARRACUDA, PAPER_UNIT
+from repro.power.states import DiskPowerState
+from repro.types import Assignment, Request
+
+
+def single_disk_problem(times, profile=PAPER_UNIT):
+    catalog = PlacementCatalog({i: [0] for i in range(len(times))})
+    requests = [
+        Request(time=t, request_id=i, data_id=i) for i, t in enumerate(times)
+    ]
+    return SchedulingProblem.build(requests, catalog, profile, 1)
+
+
+def full_assignment(problem, disk=0):
+    assignment = Assignment(problem.requests)
+    for request in problem.requests:
+        assignment.assign(request.request_id, disk)
+    return assignment
+
+
+class TestObjective:
+    def test_single_request_costs_epmax(self):
+        problem = single_disk_problem([0.0])
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        assert evaluation.objective_energy == pytest.approx(
+            problem.profile.max_request_energy
+        )
+
+    def test_close_pair_costs_gap_plus_epmax(self):
+        problem = single_disk_problem([0.0, 2.0])
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        assert evaluation.objective_energy == pytest.approx(2.0 + 5.0)
+
+    def test_far_pair_costs_two_epmax(self):
+        problem = single_disk_problem([0.0, 100.0])
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        assert evaluation.objective_energy == pytest.approx(10.0)
+
+    def test_total_saving_complements_objective(self):
+        problem = single_disk_problem([0.0, 1.0, 2.0])
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        epmax = problem.profile.max_request_energy
+        assert evaluation.total_saving == pytest.approx(
+            3 * epmax - evaluation.objective_energy
+        )
+
+    def test_incomplete_schedule_rejected(self):
+        problem = single_disk_problem([0.0, 1.0])
+        assignment = Assignment(problem.requests)
+        assignment.assign(0, 0)
+        with pytest.raises(Exception):
+            OfflineEvaluator(problem).evaluate(assignment)
+
+
+class TestPhysicalBreakdown:
+    def test_state_times_cover_horizon_on_every_disk(self):
+        catalog = PlacementCatalog({0: [0], 1: [1]})
+        requests = [
+            Request(time=10.0, request_id=0, data_id=0),
+            Request(time=400.0, request_id=1, data_id=1),
+        ]
+        problem = SchedulingProblem.build(requests, catalog, BARRACUDA, 3)
+        assignment = Assignment.from_mapping(requests, {0: 0, 1: 1})
+        evaluation = OfflineEvaluator(problem).evaluate(assignment)
+        horizon = evaluation.horizon
+        for stats in evaluation.report.disk_stats.values():
+            assert stats.total_time == pytest.approx(horizon, rel=1e-6)
+
+    def test_unused_disk_is_all_standby(self):
+        catalog = PlacementCatalog({0: [0]})
+        requests = [Request(time=5.0, request_id=0, data_id=0)]
+        problem = SchedulingProblem.build(requests, catalog, BARRACUDA, 2)
+        assignment = Assignment.from_mapping(requests, {0: 0})
+        evaluation = OfflineEvaluator(problem).evaluate(assignment)
+        idle_disk = evaluation.report.disk_stats[1]
+        assert idle_disk.standby_fraction() == pytest.approx(1.0)
+
+    def test_spin_counts_per_chain(self):
+        # Two requests far apart on one disk: up, down, up, down.
+        problem = single_disk_problem([0.0, 500.0], BARRACUDA)
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        stats = evaluation.report.disk_stats[0]
+        assert stats.spin_ups == 2
+        assert stats.spin_downs == 2
+
+    def test_close_requests_single_spin_cycle(self):
+        problem = single_disk_problem([0.0, 1.0, 2.0], BARRACUDA)
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        stats = evaluation.report.disk_stats[0]
+        assert stats.spin_ups == 1
+        assert stats.spin_downs == 1
+
+    def test_case_ii_gap_stays_idle(self):
+        profile = BARRACUDA
+        gap = profile.breakeven_time + profile.transition_time / 2
+        problem = single_disk_problem([0.0, gap], profile)
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        stats = evaluation.report.disk_stats[0]
+        assert stats.spin_ups == 1  # only the initial one
+        assert stats.state_time[DiskPowerState.IDLE] == pytest.approx(
+            gap + profile.breakeven_time
+        )
+
+    def test_physical_energy_below_always_on_when_sleepy(self):
+        problem = single_disk_problem([0.0, 5000.0], BARRACUDA)
+        evaluation = OfflineEvaluator(problem).evaluate(full_assignment(problem))
+        assert evaluation.normalized_energy < 0.5
+
+
+class TestHorizon:
+    def test_horizon_is_last_arrival_plus_threshold_and_spin_down(self):
+        problem = single_disk_problem([0.0, 13.0])
+        assert OfflineEvaluator(problem).horizon() == pytest.approx(18.0)
+
+    def test_always_on_energy_scales_with_disks(self):
+        catalog = PlacementCatalog({0: [0]})
+        requests = [Request(time=0.0, request_id=0, data_id=0)]
+        small = SchedulingProblem.build(requests, catalog, PAPER_UNIT, 2)
+        large = SchedulingProblem.build(requests, catalog, PAPER_UNIT, 8)
+        assert OfflineEvaluator(large).always_on_energy() == pytest.approx(
+            4 * OfflineEvaluator(small).always_on_energy()
+        )
+
+
+class TestChainEnergies:
+    def test_matches_objective_total(self, paper_problem):
+        assignment = Assignment.from_mapping(
+            paper_problem.requests, {0: 0, 1: 0, 2: 0, 3: 2, 4: 3, 5: 3}
+        )
+        per_disk = chain_energies(assignment, paper_problem)
+        evaluation = OfflineEvaluator(paper_problem).evaluate(assignment)
+        assert sum(per_disk.values()) == pytest.approx(
+            evaluation.objective_energy
+        )

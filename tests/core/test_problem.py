@@ -1,0 +1,112 @@
+"""Tests for SchedulingProblem and Assignment."""
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.errors import SchedulingError
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import PAPER_UNIT
+from repro.types import Assignment, Request
+
+
+class TestProblemValidation:
+    def test_build_sorts_requests(self, paper_catalog):
+        requests = [
+            Request(time=5.0, request_id=1, data_id=0),
+            Request(time=1.0, request_id=0, data_id=1),
+        ]
+        problem = SchedulingProblem.build(requests, paper_catalog, PAPER_UNIT, 4)
+        assert [r.request_id for r in problem.requests] == [0, 1]
+
+    def test_unsorted_requests_rejected_in_constructor(self, paper_catalog):
+        requests = (
+            Request(time=5.0, request_id=1, data_id=0),
+            Request(time=1.0, request_id=0, data_id=1),
+        )
+        with pytest.raises(SchedulingError, match="sorted"):
+            SchedulingProblem(requests, paper_catalog, PAPER_UNIT, 4)
+
+    def test_unknown_data_rejected(self, paper_catalog):
+        requests = [Request(time=0.0, request_id=0, data_id=999)]
+        with pytest.raises(SchedulingError):
+            SchedulingProblem.build(requests, paper_catalog, PAPER_UNIT, 4)
+
+    def test_placement_outside_disk_range_rejected(self):
+        catalog = PlacementCatalog({0: [7]})
+        requests = [Request(time=0.0, request_id=0, data_id=0)]
+        with pytest.raises(SchedulingError, match="unknown disk"):
+            SchedulingProblem.build(requests, catalog, PAPER_UNIT, 4)
+
+    def test_nonpositive_disks_rejected(self, paper_catalog):
+        with pytest.raises(SchedulingError):
+            SchedulingProblem.build([], paper_catalog, PAPER_UNIT, 0)
+
+
+class TestScheduleValidation:
+    def test_valid_schedule_passes(self, paper_problem):
+        assignment = Assignment.from_mapping(
+            paper_problem.requests, {0: 0, 1: 0, 2: 0, 3: 2, 4: 3, 5: 3}
+        )
+        paper_problem.validate_schedule(assignment)
+
+    def test_incomplete_schedule_rejected(self, paper_problem):
+        assignment = Assignment.from_mapping(paper_problem.requests, {0: 0})
+        with pytest.raises(SchedulingError, match="incomplete"):
+            paper_problem.validate_schedule(assignment)
+
+    def test_wrong_location_rejected(self, paper_problem):
+        mapping = {0: 0, 1: 0, 2: 0, 3: 2, 4: 3, 5: 1}  # r6 not on d2
+        assignment = Assignment.from_mapping(paper_problem.requests, mapping)
+        with pytest.raises(SchedulingError, match="lives on"):
+            paper_problem.validate_schedule(assignment)
+
+
+class TestAssignment:
+    def test_reassigning_same_disk_is_idempotent(self, paper_requests):
+        assignment = Assignment(paper_requests)
+        assignment.assign(0, 0)
+        assignment.assign(0, 0)
+        assert assignment.disk_of(0) == 0
+
+    def test_moving_to_other_disk_rejected(self, paper_requests):
+        assignment = Assignment(paper_requests)
+        assignment.assign(2, 0)
+        with pytest.raises(ValueError, match="already assigned"):
+            assignment.assign(2, 1)
+
+    def test_unknown_request_rejected(self, paper_requests):
+        assignment = Assignment(paper_requests)
+        with pytest.raises(KeyError):
+            assignment.assign(99, 0)
+
+    def test_duplicate_request_ids_rejected(self):
+        requests = [
+            Request(time=0.0, request_id=0, data_id=0),
+            Request(time=1.0, request_id=0, data_id=1),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            Assignment(requests)
+
+    def test_chains_sorted_by_time(self, paper_requests):
+        assignment = Assignment(paper_requests)
+        assignment.assign(4, 0)  # t=12
+        assignment.assign(0, 0)  # t=0
+        chains = assignment.chains()
+        assert [r.request_id for r in chains[0]] == [0, 4]
+
+    def test_unassigned_lists_leftovers(self, paper_requests):
+        assignment = Assignment(paper_requests)
+        assignment.assign(0, 0)
+        assert [r.request_id for r in assignment.unassigned()] == [1, 2, 3, 4, 5]
+
+    def test_is_complete(self, paper_requests):
+        assignment = Assignment(paper_requests)
+        assert not assignment.is_complete()
+        for request in paper_requests:
+            assignment.assign(request.request_id, 0)
+        assert assignment.is_complete()
+
+    def test_round_trip_as_dict(self, paper_requests):
+        mapping = {r.request_id: 0 for r in paper_requests}
+        assignment = Assignment.from_mapping(paper_requests, mapping)
+        assert assignment.as_dict() == mapping

@@ -1,0 +1,125 @@
+"""Tests for EPmax, Eq. 3 savings and Lemma-1 gap energies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.saving import (
+    SavingTerm,
+    gap_energy,
+    max_request_energy,
+    saving_value,
+    saving_window,
+)
+from repro.power.profile import BARRACUDA, PAPER_EVAL, PAPER_UNIT
+from repro.types import Request
+
+
+class TestSavingValue:
+    """The three Lemma-1 cases, on the unit model (TB=5, free transitions)."""
+
+    def test_case_iii_short_gap(self):
+        # Fig. 3 example: saving of r1 with successor at gap 1 is 4.
+        assert saving_value(0.0, 1.0, PAPER_UNIT) == pytest.approx(4.0)
+
+    def test_case_i_gap_beyond_window_saves_nothing(self):
+        assert saving_value(0.0, 9.0, PAPER_UNIT) == 0.0
+
+    def test_boundary_gap_at_window_saves_nothing(self):
+        window = saving_window(PAPER_UNIT)
+        assert saving_value(0.0, window, PAPER_UNIT) == 0.0
+
+    def test_zero_gap_saves_everything(self):
+        assert saving_value(3.0, 3.0, PAPER_UNIT) == pytest.approx(
+            max_request_energy(PAPER_UNIT)
+        )
+
+    def test_negative_gap_saves_nothing(self):
+        assert saving_value(5.0, 3.0, PAPER_UNIT) == 0.0
+
+    def test_case_ii_between_tb_and_window(self):
+        # Barracuda: TB ~17.48, window ~25.48; a gap of 20 still saves.
+        profile = BARRACUDA
+        gap = profile.breakeven_time + profile.transition_time / 2
+        value = saving_value(0.0, gap, profile)
+        expected = profile.transition_energy + (
+            profile.breakeven_time - gap
+        ) * profile.idle_power
+        assert value == pytest.approx(expected)
+        assert 0 < value < profile.transition_energy
+
+    @given(gap=st.floats(min_value=0.0, max_value=1000.0))
+    def test_monotone_nonincreasing_in_gap(self, gap):
+        closer = saving_value(0.0, gap, PAPER_EVAL)
+        farther = saving_value(0.0, gap + 1.0, PAPER_EVAL)
+        assert closer >= farther - 1e-9
+
+    @given(gap=st.floats(min_value=0.0, max_value=1000.0))
+    def test_bounded_by_epmax(self, gap):
+        value = saving_value(0.0, gap, PAPER_EVAL)
+        assert 0.0 <= value <= max_request_energy(PAPER_EVAL) + 1e-9
+
+
+class TestGapEnergy:
+    def test_short_gap_is_idle_energy(self):
+        assert gap_energy(3.0, PAPER_UNIT) == pytest.approx(3.0)
+
+    def test_long_gap_is_epmax(self):
+        assert gap_energy(100.0, PAPER_UNIT) == pytest.approx(5.0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            gap_energy(-1.0, PAPER_UNIT)
+
+    @given(gap=st.floats(min_value=0.0, max_value=1000.0))
+    def test_saving_plus_energy_is_epmax_inside_window(self, gap):
+        """X(i,j,k) = EPmax - energy(ri) — the definition in Section 3.1.1."""
+        if gap < saving_window(PAPER_EVAL):
+            total = saving_value(0.0, gap, PAPER_EVAL) + gap_energy(gap, PAPER_EVAL)
+            assert total == pytest.approx(max_request_energy(PAPER_EVAL))
+
+
+class TestSavingTerm:
+    def r(self, time, rid):
+        return Request(time=time, request_id=rid, data_id=0)
+
+    def test_build_materialises_positive_terms(self):
+        term = SavingTerm.build(self.r(0, 0), self.r(1, 1), 3, PAPER_UNIT)
+        assert term is not None
+        assert term.weight == pytest.approx(4.0)
+        assert term.disk == 3
+
+    def test_build_drops_zero_terms(self):
+        assert SavingTerm.build(self.r(0, 0), self.r(50, 1), 3, PAPER_UNIT) is None
+
+    def test_conflict_same_predecessor(self):
+        a = SavingTerm(0, 1, 0, 1.0)
+        b = SavingTerm(0, 2, 0, 1.0)
+        assert a.conflicts_with(b)
+
+    def test_conflict_same_successor(self):
+        # Paper Fig. 4 step 2: X(1,3,1) vs X(2,3,1) conflict on r3.
+        a = SavingTerm(1, 3, 0, 1.0)
+        b = SavingTerm(2, 3, 0, 1.0)
+        assert a.conflicts_with(b)
+
+    def test_conflict_shared_request_different_disk(self):
+        # Paper Fig. 4 step 2: X(1,2,1) vs X(2,3,2) conflict on r2.
+        a = SavingTerm(1, 2, 1, 1.0)
+        b = SavingTerm(2, 3, 2, 1.0)
+        assert a.conflicts_with(b)
+
+    def test_chain_on_same_disk_is_compatible(self):
+        a = SavingTerm(1, 2, 1, 1.0)
+        b = SavingTerm(2, 3, 1, 1.0)
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_terms_compatible(self):
+        a = SavingTerm(1, 2, 1, 1.0)
+        b = SavingTerm(3, 4, 2, 1.0)
+        assert not a.conflicts_with(b)
+
+    def test_conflict_is_symmetric(self):
+        a = SavingTerm(1, 2, 1, 1.0)
+        b = SavingTerm(2, 3, 2, 1.0)
+        assert a.conflicts_with(b) == b.conflicts_with(a)

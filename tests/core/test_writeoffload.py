@@ -1,0 +1,154 @@
+"""Tests for the write off-loading extension."""
+
+import pytest
+
+from repro.core.static_scheduler import StaticScheduler
+from repro.core.writeoffload import WriteOffloadingScheduler
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import PAPER_EVAL, PAPER_UNIT
+from repro.power.states import DiskPowerState
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import simulate
+from repro.types import OpKind, Request
+
+
+class FakeDisk:
+    def __init__(self, state, queue_length=0, last_request_time=None):
+        self.state = state
+        self.queue_length = queue_length
+        self.last_request_time = last_request_time
+
+
+class FakeView:
+    def __init__(self, disks, catalog, now=0.0):
+        self._disks = disks
+        self._catalog = catalog
+        self.now = now
+        self.profile = PAPER_EVAL
+
+    @property
+    def disk_ids(self):
+        return sorted(self._disks)
+
+    def disk(self, disk_id):
+        return self._disks[disk_id]
+
+    def locations(self, data_id):
+        return self._catalog.locations(data_id)
+
+
+def write_req(rid=0, data_id=0):
+    return Request(time=0.0, request_id=rid, data_id=data_id, op=OpKind.WRITE)
+
+
+def read_req(rid=0, data_id=0):
+    return Request(time=0.0, request_id=rid, data_id=data_id, op=OpKind.READ)
+
+
+@pytest.fixture
+def catalog():
+    return PlacementCatalog({0: [2]})  # data 0 lives only on disk 2
+
+
+class TestRouting:
+    def test_reads_delegate_to_inner_scheduler(self, catalog):
+        view = FakeView({2: FakeDisk(DiskPowerState.STANDBY)}, catalog)
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        assert scheduler.choose(read_req(), view) == 2
+        assert scheduler.total_offloaded == 0
+
+    def test_write_diverted_to_spinning_disk(self, catalog):
+        view = FakeView(
+            {
+                0: FakeDisk(DiskPowerState.IDLE),
+                2: FakeDisk(DiskPowerState.STANDBY),
+            },
+            catalog,
+        )
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        assert scheduler.choose(write_req(), view) == 0
+        assert scheduler.offloaded == {0: 1}
+
+    def test_write_prefers_least_loaded_spinning_disk(self, catalog):
+        view = FakeView(
+            {
+                0: FakeDisk(DiskPowerState.ACTIVE, queue_length=5),
+                1: FakeDisk(DiskPowerState.IDLE, queue_length=0),
+                2: FakeDisk(DiskPowerState.STANDBY),
+            },
+            catalog,
+        )
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        assert scheduler.choose(write_req(), view) == 1
+
+    def test_write_joins_spin_up_when_nothing_spins(self, catalog):
+        view = FakeView(
+            {
+                0: FakeDisk(DiskPowerState.SPIN_UP),
+                2: FakeDisk(DiskPowerState.STANDBY),
+            },
+            catalog,
+        )
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        assert scheduler.choose(write_req(), view) == 0
+
+    def test_all_asleep_forces_home_wakeup(self, catalog):
+        view = FakeView(
+            {
+                0: FakeDisk(DiskPowerState.STANDBY),
+                2: FakeDisk(DiskPowerState.STANDBY),
+            },
+            catalog,
+        )
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        assert scheduler.choose(write_req(), view) == 2
+        assert scheduler.forced_wakeups == 1
+        assert scheduler.total_offloaded == 0
+
+    def test_name_mentions_inner(self):
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        assert "Static" in scheduler.name
+
+
+class TestSimulationIntegration:
+    def test_mixed_workload_completes_and_offloads(self):
+        catalog = PlacementCatalog({0: [0], 1: [1]})
+        requests = [
+            Request(time=0.0, request_id=0, data_id=0),  # read wakes disk 0
+            Request(time=1.0, request_id=1, data_id=1, op=OpKind.WRITE),
+            Request(time=2.0, request_id=2, data_id=1, op=OpKind.WRITE),
+        ]
+        scheduler = WriteOffloadingScheduler(StaticScheduler())
+        config = SimulationConfig(num_disks=2, profile=PAPER_UNIT, drain_slack=1.0)
+        report = simulate(requests, catalog, scheduler, config)
+        assert report.requests_completed == 3
+        # Both writes landed on the already-spinning disk 0; disk 1 slept.
+        assert report.disk_stats[0].requests_serviced == 3
+        assert report.disk_stats[1].requests_serviced == 0
+        assert report.disk_stats[1].spin_ups == 0
+        assert scheduler.total_offloaded == 2
+
+    def test_offloading_saves_energy_on_write_heavy_trace(self):
+        """The point of write off-loading: writes stop waking cold disks."""
+        import random
+
+        rng = random.Random(5)
+        catalog = PlacementCatalog({i: [i % 6] for i in range(60)})
+        requests = []
+        t = 0.0
+        for rid in range(300):
+            t += rng.expovariate(0.5)
+            op = OpKind.WRITE if rng.random() < 0.7 else OpKind.READ
+            requests.append(
+                Request(time=t, request_id=rid, data_id=rng.randrange(60), op=op)
+            )
+        config = SimulationConfig(num_disks=6, profile=PAPER_EVAL, seed=1)
+        plain = simulate(requests, catalog, StaticScheduler(), config)
+        offloaded = simulate(
+            requests,
+            catalog,
+            WriteOffloadingScheduler(StaticScheduler()),
+            config,
+        )
+        assert offloaded.requests_completed == plain.requests_completed
+        assert offloaded.total_energy < plain.total_energy

@@ -1,0 +1,101 @@
+"""Tests for the position-aware (stateful) service model."""
+
+import random
+
+import pytest
+
+from repro.disk.service import AnalyticServiceModel, PositionAwareServiceModel
+from repro.types import Request
+
+
+def req(data_id, rid=0):
+    return Request(time=0.0, request_id=rid, data_id=data_id)
+
+
+class TestLayout:
+    def test_cylinder_mapping_deterministic(self):
+        model_a = PositionAwareServiceModel()
+        model_b = PositionAwareServiceModel()
+        for data_id in range(50):
+            assert model_a.cylinder_of_data(data_id) == model_b.cylinder_of_data(
+                data_id
+            )
+
+    def test_cylinders_in_range(self):
+        model = PositionAwareServiceModel()
+        for data_id in range(500):
+            assert 0 <= model.cylinder_of_data(data_id) < model.geometry.cylinders
+
+    def test_mapping_spreads_over_the_platter(self):
+        model = PositionAwareServiceModel()
+        cylinders = {model.cylinder_of_data(d) for d in range(1000)}
+        span = max(cylinders) - min(cylinders)
+        assert span > model.geometry.cylinders // 2
+
+
+class TestStatefulSeeks:
+    def test_rereading_same_data_has_zero_seek(self):
+        model = PositionAwareServiceModel()
+        rng = random.Random(0)
+        model.service_time(req(7), rng)
+        # Second access: same cylinder, so only rotation+transfer+overhead.
+        geometry = model.geometry
+        duration = model.service_time(req(7), rng)
+        ceiling = (
+            geometry.rotation_time
+            + geometry.transfer_time(req(7).size_bytes)
+            + geometry.controller_overhead
+        )
+        assert duration <= ceiling + 1e-12
+
+    def test_local_workload_faster_than_scattered(self):
+        rng = random.Random(1)
+        geometry = PositionAwareServiceModel().geometry
+        probe = PositionAwareServiceModel()
+        # Find data ids that map to nearby cylinders.
+        by_cylinder = sorted(range(2000), key=probe.cylinder_of_data)
+        local_ids = by_cylinder[:50]
+        scattered_ids = by_cylinder[::40][:50]
+
+        def total(model, ids, seed):
+            rng = random.Random(seed)
+            return sum(
+                model.service_time(req(d, i), rng) for i, d in enumerate(ids)
+            )
+
+        local = total(PositionAwareServiceModel(), local_ids, 3)
+        scattered = total(PositionAwareServiceModel(), scattered_ids, 3)
+        assert local < scattered
+
+    def test_factory_yields_independent_instances(self):
+        factory = PositionAwareServiceModel.factory()
+        a, b = factory(), factory()
+        rng = random.Random(0)
+        a.service_time(req(100), rng)
+        # b's head has not moved; same first-access cost as a fresh model.
+        fresh = PositionAwareServiceModel()
+        assert b._head_cylinder == fresh._head_cylinder
+
+
+class TestSimulationIntegration:
+    def test_per_disk_models_via_config_factory(self):
+        from repro.core.static_scheduler import StaticScheduler
+        from repro.placement.catalog import PlacementCatalog
+        from repro.power.profile import PAPER_EVAL
+        from repro.sim.config import SimulationConfig
+        from repro.sim.runner import simulate
+        from repro.types import Request
+
+        catalog = PlacementCatalog({d: [d % 2] for d in range(20)})
+        requests = [
+            Request(time=t * 0.5, request_id=t, data_id=t % 20)
+            for t in range(100)
+        ]
+        config = SimulationConfig(
+            num_disks=2,
+            profile=PAPER_EVAL,
+            service_model_factory=PositionAwareServiceModel.factory(),
+        )
+        report = simulate(requests, catalog, StaticScheduler(), config)
+        assert report.requests_completed == 100
+        assert all(rt >= 0 for rt in report.response_times)

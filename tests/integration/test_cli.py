@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def small_scale(monkeypatch):
+    """Shrink the experiment scale so CLI tests stay fast."""
+    monkeypatch.setattr(common, "SCALE", 0.05)
+    monkeypatch.setattr(common, "MWIS_SCALE", 0.05)
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestParser:
+    def test_profile_defaults_to_paper_eval(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.name == "paper-evaluation"
+
+    def test_figure_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_profile_prints_breakeven(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "breakeven" in out
+
+    def test_profile_by_name(self, capsys):
+        assert main(["profile", "paper-unit-model"]) == 0
+        assert "paper-unit-model" in capsys.readouterr().out
+
+    def test_simulate_prints_normalized_energy(self, capsys):
+        code = main(
+            ["simulate", "--scheduler", "static", "--replication", "2"]
+        )
+        assert code == 0
+        assert "normalized energy" in capsys.readouterr().out
+
+    def test_compare_lists_all_schedulers(self, capsys):
+        assert main(["compare", "--replication", "2"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Static", "Random", "Heuristic", "WSC", "MWIS"):
+            assert label in out
+
+    def test_figure_fig5(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        assert "breakeven" in capsys.readouterr().out
+
+    def test_headline_scorecard(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "up to 55%" in out
+        assert "measured" in out

@@ -1,0 +1,141 @@
+"""End-to-end scenario tests at small (but non-trivial) scale.
+
+These replay a scaled Cello-like trace through every scheduler and check
+the *qualitative* results the paper reports — the same checks the
+benchmarks make at full scale.
+"""
+
+import pytest
+
+from repro.core.heuristic import HeuristicScheduler
+from repro.core.mwis import MWISOfflineScheduler
+from repro.core.random_scheduler import RandomScheduler
+from repro.core.static_scheduler import StaticScheduler
+from repro.core.wsc import WSCBatchScheduler
+from repro.placement.schemes import ZipfOriginalUniformReplicas
+from repro.power.profile import PAPER_EVAL
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import always_on_baseline, run_offline, simulate
+from repro.traces.cello import CelloLikeConfig, generate_cello_like
+from repro.traces.workload import Workload
+
+SCALE = 0.08
+NUM_DISKS = 14
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(generate_cello_like(CelloLikeConfig().scaled(SCALE), seed=1))
+
+
+def bind(workload, rf):
+    return workload.bind(
+        ZipfOriginalUniformReplicas(replication_factor=rf),
+        num_disks=NUM_DISKS,
+        seed=9,
+    )
+
+
+def config():
+    return SimulationConfig(num_disks=NUM_DISKS, profile=PAPER_EVAL, seed=2)
+
+
+@pytest.fixture(scope="module")
+def rf3_reports(workload):
+    requests, catalog = bind(workload, 3)
+    cfg = config()
+    reports = {
+        "static": simulate(requests, catalog, StaticScheduler(), cfg),
+        "random": simulate(requests, catalog, RandomScheduler(seed=4), cfg),
+        "heuristic": simulate(requests, catalog, HeuristicScheduler(), cfg),
+        "wsc": simulate(requests, catalog, WSCBatchScheduler(), cfg),
+        "always_on": always_on_baseline(requests, catalog, cfg),
+    }
+    reports["mwis"] = run_offline(
+        requests, catalog, MWISOfflineScheduler(neighborhood=4), cfg
+    )
+    return reports
+
+
+class TestReplicationFactor3:
+    def test_everything_completes(self, rf3_reports):
+        for key in ("static", "random", "heuristic", "wsc"):
+            report = rf3_reports[key]
+            assert report.requests_completed == report.requests_offered
+
+    def test_energy_aware_beats_static(self, rf3_reports):
+        base = rf3_reports["always_on"].total_energy
+        static = rf3_reports["static"].total_energy / base
+        heuristic = rf3_reports["heuristic"].total_energy / base
+        wsc = rf3_reports["wsc"].total_energy / base
+        assert heuristic < static
+        assert wsc < static
+
+    def test_mwis_is_best(self, rf3_reports):
+        base = rf3_reports["always_on"].total_energy
+        mwis = rf3_reports["mwis"].report.total_energy / base
+        for key in ("static", "random", "heuristic", "wsc"):
+            assert mwis < rf3_reports[key].total_energy / base
+
+    def test_random_is_worst_energy(self, rf3_reports):
+        random_energy = rf3_reports["random"].total_energy
+        for key in ("static", "heuristic", "wsc"):
+            assert rf3_reports[key].total_energy < random_energy
+
+    def test_heuristic_improves_response_time(self, rf3_reports):
+        assert (
+            rf3_reports["heuristic"].mean_response_time
+            < rf3_reports["static"].mean_response_time
+        )
+
+    def test_energy_aware_fewer_spin_ops(self, rf3_reports):
+        assert (
+            rf3_reports["heuristic"].spin_operations
+            < rf3_reports["static"].spin_operations
+        )
+
+    def test_always_on_has_zero_spin_downs(self, rf3_reports):
+        assert rf3_reports["always_on"].spin_downs == 0
+
+    def test_standby_share_higher_for_energy_aware(self, rf3_reports):
+        """The Fig. 9 observation: WSC pushes more disks into standby."""
+        from repro.power.states import DiskPowerState
+
+        def standby_share(report):
+            fractions = report.per_disk_fractions()
+            return sum(f[DiskPowerState.STANDBY] for f in fractions) / len(fractions)
+
+        assert standby_share(rf3_reports["wsc"]) > standby_share(
+            rf3_reports["random"]
+        )
+
+
+class TestReplicationSweep:
+    def test_heuristic_energy_falls_with_replication(self, workload):
+        cfg = config()
+        energies = []
+        for rf in (1, 3, 5):
+            requests, catalog = bind(workload, rf)
+            base = always_on_baseline(requests, catalog, cfg).total_energy
+            report = simulate(requests, catalog, HeuristicScheduler(), cfg)
+            energies.append(report.total_energy / base)
+        assert energies[0] > energies[1] > energies[2]
+
+    def test_static_energy_flat_in_replication(self, workload):
+        cfg = config()
+        energies = []
+        for rf in (1, 5):
+            requests, catalog = bind(workload, rf)
+            base = always_on_baseline(requests, catalog, cfg).total_energy
+            report = simulate(requests, catalog, StaticScheduler(), cfg)
+            energies.append(report.total_energy / base)
+        assert energies[0] == pytest.approx(energies[1], rel=0.05)
+
+    def test_rf1_all_schedulers_equal_energy(self, workload):
+        cfg = config()
+        requests, catalog = bind(workload, 1)
+        static = simulate(requests, catalog, StaticScheduler(), cfg)
+        rand = simulate(requests, catalog, RandomScheduler(seed=0), cfg)
+        heuristic = simulate(requests, catalog, HeuristicScheduler(), cfg)
+        assert static.total_energy == pytest.approx(rand.total_energy)
+        assert static.total_energy == pytest.approx(heuristic.total_energy)

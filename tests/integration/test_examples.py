@@ -1,0 +1,51 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_offline_optimal_reproduces_the_worked_example():
+    result = run_example("offline_optimal.py")
+    assert result.returncode == 0, result.stderr
+    assert "schedule C (optimal): energy = 19" in result.stdout
+    assert "saving 11" in result.stdout
+
+
+def test_replay_real_trace_with_synthetic_sample():
+    result = run_example("replay_real_trace.py")
+    assert result.returncode == 0, result.stderr
+    assert "energy vs always-on" in result.stdout
+
+
+def test_replay_real_trace_parses_given_file(tmp_path):
+    trace = tmp_path / "sample.spc"
+    lines = [f"0,{i * 8},4096,r,{i * 0.5}" for i in range(400)]
+    trace.write_text("\n".join(lines))
+    result = run_example("replay_real_trace.py", str(trace))
+    assert result.returncode == 0, result.stderr
+    assert "parsed 400 records" in result.stdout
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "placement_sensitivity.py", "cost_tradeoff.py",
+     "extensions_tour.py"],
+)
+def test_heavy_examples_importable(name):
+    """The longer examples at least compile (full runs live in docs/CI)."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

@@ -1,0 +1,133 @@
+"""Metamorphic tests: transformations with predictable effect on results.
+
+These pin down the simulator's physics without reference values: scaling
+powers, shifting time, and composing disjoint systems must change the
+outputs in exactly the way dimensional analysis predicts.
+"""
+
+import pytest
+
+from repro.core.static_scheduler import StaticScheduler
+from repro.disk.service import ConstantServiceModel
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import BARRACUDA
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import always_on_baseline, simulate
+from repro.types import Request
+
+
+def make_requests(times, data_ids):
+    return [
+        Request(time=t, request_id=i, data_id=d)
+        for i, (t, d) in enumerate(zip(times, data_ids))
+    ]
+
+
+BASE_TIMES = [0.0, 4.0, 9.0, 120.0, 121.0, 400.0]
+BASE_DATA = [0, 1, 0, 1, 0, 1]
+
+
+def run(catalog, requests, profile=BARRACUDA, num_disks=2, horizon=None):
+    config = SimulationConfig(
+        num_disks=num_disks,
+        profile=profile,
+        service_model=ConstantServiceModel(0.001),
+        horizon=horizon,
+        drain_slack=60.0,
+    )
+    return simulate(requests, catalog, StaticScheduler(), config)
+
+
+class TestPowerScaling:
+    def test_always_on_energy_scales_with_idle_power(self):
+        catalog = PlacementCatalog({0: [0], 1: [1]})
+        requests = make_requests(BASE_TIMES, BASE_DATA)
+        # Pin the horizon: doubling idle power halves TB, which would
+        # otherwise change the *derived* horizon and muddy the comparison.
+        horizon = max(BASE_TIMES) + 100.0
+        config = SimulationConfig(
+            num_disks=2,
+            profile=BARRACUDA,
+            service_model=ConstantServiceModel(0.0),
+            horizon=horizon,
+        )
+        doubled = SimulationConfig(
+            num_disks=2,
+            profile=BARRACUDA.with_overrides(
+                idle_power=BARRACUDA.idle_power * 2,
+                active_power=BARRACUDA.active_power * 2,
+            ),
+            service_model=ConstantServiceModel(0.0),
+            horizon=horizon,
+        )
+        base = always_on_baseline(requests, catalog, config)
+        double = always_on_baseline(requests, catalog, doubled)
+        assert double.total_energy == pytest.approx(2 * base.total_energy)
+
+    def test_scaling_all_powers_scales_total_energy(self):
+        """Multiplying every power by k multiplies energy by k: the
+        breakeven time is a power *ratio*, so behaviour is unchanged."""
+        catalog = PlacementCatalog({0: [0], 1: [1]})
+        requests = make_requests(BASE_TIMES, BASE_DATA)
+        k = 3.0
+        scaled_profile = BARRACUDA.with_overrides(
+            idle_power=BARRACUDA.idle_power * k,
+            active_power=BARRACUDA.active_power * k,
+            standby_power=BARRACUDA.standby_power * k,
+            spin_up_power=BARRACUDA.spin_up_power * k,
+            spin_down_power=BARRACUDA.spin_down_power * k,
+        )
+        assert scaled_profile.breakeven_time == pytest.approx(
+            BARRACUDA.breakeven_time
+        )
+        base = run(catalog, requests)
+        scaled = run(catalog, requests, profile=scaled_profile)
+        assert scaled.total_energy == pytest.approx(k * base.total_energy)
+        assert scaled.spin_operations == base.spin_operations
+        assert scaled.response_times == base.response_times
+
+
+class TestTimeShift:
+    def test_shift_adds_only_standby_energy(self):
+        catalog = PlacementCatalog({0: [0], 1: [1]})
+        shift = 500.0
+        base_requests = make_requests(BASE_TIMES, BASE_DATA)
+        shifted_requests = make_requests(
+            [t + shift for t in BASE_TIMES], BASE_DATA
+        )
+        base = run(catalog, base_requests)
+        shifted = run(catalog, shifted_requests)
+        # Both disks sleep through the added lead-in.
+        expected_extra = 2 * shift * BARRACUDA.standby_power
+        assert shifted.total_energy - base.total_energy == pytest.approx(
+            expected_extra, rel=1e-6
+        )
+        assert shifted.response_times == pytest.approx(base.response_times)
+
+
+class TestComposition:
+    def test_disjoint_systems_compose_additively(self):
+        """Two independent halves simulated together = the sum of the
+        halves simulated apart (same horizon)."""
+        catalog_a = PlacementCatalog({0: [0], 1: [1]})
+        catalog_b = PlacementCatalog({0: [0], 1: [1]})
+        requests = make_requests(BASE_TIMES, BASE_DATA)
+        horizon = max(BASE_TIMES) + 200.0
+
+        part_a = run(catalog_a, requests, horizon=horizon)
+        part_b = run(catalog_b, requests, horizon=horizon)
+
+        joint_catalog = PlacementCatalog(
+            {0: [0], 1: [1], 100: [2], 101: [3]}
+        )
+        joint_requests = make_requests(BASE_TIMES, BASE_DATA) + [
+            Request(time=t, request_id=100 + i, data_id=100 + d)
+            for i, (t, d) in enumerate(zip(BASE_TIMES, BASE_DATA))
+        ]
+        joint = run(
+            joint_catalog, joint_requests, num_disks=4, horizon=horizon
+        )
+        assert joint.total_energy == pytest.approx(
+            part_a.total_energy + part_b.total_energy, rel=1e-9
+        )
+        assert joint.spin_operations == part_a.spin_operations + part_b.spin_operations

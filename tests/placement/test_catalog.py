@@ -1,0 +1,70 @@
+"""Tests for the placement catalog."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.catalog import PlacementCatalog
+
+
+@pytest.fixture
+def catalog():
+    return PlacementCatalog({0: [3, 1], 1: [1], 2: [2, 0, 3]})
+
+
+def test_locations_preserve_order(catalog):
+    assert catalog.locations(0) == (3, 1)
+
+
+def test_original_is_first(catalog):
+    assert catalog.original(2) == 2
+
+
+def test_replicas_exclude_original(catalog):
+    assert catalog.replicas(2) == (0, 3)
+    assert catalog.replicas(1) == ()
+
+
+def test_replication_factor(catalog):
+    assert catalog.replication_factor(0) == 2
+    assert catalog.replication_factor(1) == 1
+
+
+def test_unknown_data_raises(catalog):
+    with pytest.raises(PlacementError):
+        catalog.locations(99)
+
+
+def test_len_and_contains(catalog):
+    assert len(catalog) == 3
+    assert 1 in catalog
+    assert 99 not in catalog
+
+
+def test_disks_enumerates_all(catalog):
+    assert catalog.disks == (0, 1, 2, 3)
+
+
+def test_data_on_disk(catalog):
+    assert catalog.data_on_disk(1) == (0, 1)
+    assert catalog.data_on_disk(3) == (0, 2)
+    assert catalog.data_on_disk(9) == ()
+
+
+def test_empty_location_list_rejected():
+    with pytest.raises(PlacementError):
+        PlacementCatalog({0: []})
+
+
+def test_duplicate_locations_rejected():
+    with pytest.raises(PlacementError):
+        PlacementCatalog({0: [1, 1]})
+
+
+def test_load_share_uses_originals(catalog):
+    share = catalog.load_share({0: 10.0, 1: 5.0, 2: 1.0})
+    assert share == {3: 10.0, 1: 5.0, 2: 1.0}
+
+
+def test_from_pairs_round_trip():
+    catalog = PlacementCatalog.from_pairs([(5, [0, 2])])
+    assert catalog.locations(5) == (0, 2)

@@ -1,0 +1,100 @@
+"""Tests for Zipf samplers."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.placement.zipf import (
+    ZipfSampler,
+    empirical_ranks,
+    rank_permutation,
+    zipf_probabilities,
+)
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self):
+        probs = zipf_probabilities(100, 1.0)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_zipf_ratio_between_ranks(self):
+        probs = zipf_probabilities(100, 1.0)
+        # rank0 / rank1 = 2 for z = 1.
+        assert probs[0] / probs[1] == pytest.approx(2.0)
+
+    def test_z_zero_is_uniform(self):
+        probs = zipf_probabilities(50, 0.0)
+        assert all(p == pytest.approx(1.0 / 50) for p in probs)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(200, 0.8)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_higher_exponent_more_skewed(self):
+        flat = zipf_probabilities(100, 0.3)[0]
+        steep = zipf_probabilities(100, 1.0)[0]
+        assert steep > flat
+
+
+class TestSampling:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(10, 1.0)
+        rng = random.Random(1)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(1000))
+
+    def test_empirical_matches_theory(self):
+        sampler = ZipfSampler(20, 1.0)
+        rng = random.Random(2)
+        n = 40_000
+        counts = Counter(sampler.sample(rng) for _ in range(n))
+        for rank in (0, 1, 5):
+            expected = sampler.probability(rank) * n
+            assert counts[rank] == pytest.approx(expected, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        sampler = ZipfSampler(30, 0.9)
+        a = sampler.sample_many(random.Random(7), 100)
+        b = sampler.sample_many(random.Random(7), 100)
+        assert a == b
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        z=st.floats(min_value=0.0, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_sample_always_valid_rank(self, n, z, seed):
+        sampler = ZipfSampler(n, z)
+        assert 0 <= sampler.sample(random.Random(seed)) < n
+
+
+class TestValidation:
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 1.0)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, -0.5)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, 1.0).probability(10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, 1.0).sample_many(random.Random(0), -1)
+
+
+class TestHelpers:
+    def test_rank_permutation_is_bijection(self):
+        perm = rank_permutation(50, random.Random(3))
+        assert sorted(perm) == list(range(50))
+
+    def test_empirical_ranks_counts(self):
+        counts = empirical_ranks([0, 0, 1, 3], 4)
+        assert counts == [2, 1, 0, 1]

@@ -1,0 +1,113 @@
+"""Tests for the breakeven-time math (the 2CPM foundation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.breakeven import (
+    always_on_interval_energy,
+    breakeven_time,
+    breakeven_time_with_standby,
+    competitive_ratio_bound,
+    idle_interval_energy,
+)
+from repro.power.profile import BARRACUDA, PAPER_EVAL, DiskPowerProfile
+
+
+class TestBreakevenTime:
+    def test_classic_formula(self):
+        assert breakeven_time(100.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_transition_energy_gives_zero_threshold(self):
+        assert breakeven_time(0.0, 5.0) == 0.0
+
+    def test_requires_positive_idle_power(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_time(100.0, 0.0)
+
+    def test_rejects_negative_transition_energy(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_time(-1.0, 5.0)
+
+
+class TestBreakevenWithStandby:
+    def test_reduces_to_classic_when_standby_is_zero(self):
+        classic = breakeven_time(100.0, 10.0)
+        refined = breakeven_time_with_standby(100.0, 10.0, 0.0)
+        assert refined == pytest.approx(classic)
+
+    def test_standby_power_lengthens_threshold(self):
+        # Sleeping is less profitable when standby still draws power.
+        classic = breakeven_time(100.0, 10.0)
+        refined = breakeven_time_with_standby(100.0, 10.0, 2.0)
+        assert refined > classic
+
+    def test_idle_must_exceed_standby(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_time_with_standby(100.0, 5.0, 5.0)
+
+    @given(
+        energy=st.floats(min_value=0.0, max_value=1e4),
+        idle=st.floats(min_value=0.5, max_value=50.0),
+        standby_fraction=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_never_negative(self, energy, idle, standby_fraction):
+        threshold = breakeven_time_with_standby(
+            energy, idle, idle * standby_fraction
+        )
+        assert threshold >= 0.0
+
+
+class TestIntervalEnergy:
+    def test_short_gap_stays_idle(self):
+        gap = BARRACUDA.breakeven_time / 2
+        assert idle_interval_energy(BARRACUDA, gap) == pytest.approx(
+            gap * BARRACUDA.idle_power
+        )
+
+    def test_long_gap_sleeps(self):
+        gap = BARRACUDA.breakeven_time * 10
+        energy = idle_interval_energy(BARRACUDA, gap)
+        assert energy < always_on_interval_energy(BARRACUDA, gap)
+
+    def test_gap_at_threshold_boundary_stays_idle(self):
+        # Gaps inside [TB, TB + Tup + Tdown) ride out idle (Lemma 1 case II).
+        gap = BARRACUDA.breakeven_time + BARRACUDA.transition_time / 2
+        assert idle_interval_energy(BARRACUDA, gap) == pytest.approx(
+            gap * BARRACUDA.idle_power
+        )
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            idle_interval_energy(BARRACUDA, -1.0)
+
+    @given(gap=st.floats(min_value=0.0, max_value=1e5))
+    def test_2cpm_never_exceeds_twice_always_on_plus_transition(self, gap):
+        """The 2-competitiveness sanity bound on a single interval."""
+        online = idle_interval_energy(PAPER_EVAL, gap)
+        offline_best = min(
+            always_on_interval_energy(PAPER_EVAL, gap),
+            PAPER_EVAL.transition_energy + gap * PAPER_EVAL.standby_power,
+        )
+        if offline_best > 0:
+            assert online <= 2.0 * offline_best + 1e-9
+
+
+class TestCompetitiveRatio:
+    def test_bound_is_at_most_two_for_zero_standby(self):
+        profile = DiskPowerProfile(
+            name="zero-standby",
+            idle_power=10.0,
+            active_power=12.0,
+            standby_power=0.0,
+            spin_up_power=20.0,
+            spin_down_power=10.0,
+            spin_up_time=5.0,
+            spin_down_time=1.0,
+        )
+        ratio = competitive_ratio_bound(profile)
+        assert 1.0 <= ratio <= 2.0 + 1e-9
+
+    def test_bound_exceeds_one_when_sleeping_costs(self):
+        assert competitive_ratio_bound(PAPER_EVAL) > 1.0

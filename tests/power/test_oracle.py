@@ -1,0 +1,121 @@
+"""Tests for the offline-optimal power oracle and competitive ratios."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.oracle import (
+    empirical_competitive_ratio,
+    gap_idle_energy,
+    gap_sleep_energy,
+    optimal_gap_energy,
+    oracle_energy,
+    two_cpm_energy,
+)
+from repro.power.profile import BARRACUDA, PAPER_EVAL, DiskPowerProfile
+
+ZERO_STANDBY = DiskPowerProfile(
+    name="zero-standby",
+    idle_power=10.0,
+    active_power=12.0,
+    standby_power=0.0,
+    spin_up_power=20.0,
+    spin_down_power=10.0,
+    spin_up_time=5.0,
+    spin_down_time=1.0,
+)
+
+
+class TestGapDecision:
+    def test_short_gap_stays_idle(self):
+        decision = optimal_gap_energy(BARRACUDA, 1.0)
+        assert not decision.sleep
+        assert decision.energy == pytest.approx(gap_idle_energy(BARRACUDA, 1.0))
+
+    def test_long_gap_sleeps(self):
+        decision = optimal_gap_energy(BARRACUDA, 10_000.0)
+        assert decision.sleep
+        assert decision.energy == pytest.approx(
+            gap_sleep_energy(BARRACUDA, 10_000.0)
+        )
+
+    def test_gap_below_transition_cannot_sleep(self):
+        gap = BARRACUDA.transition_time / 2
+        assert gap_sleep_energy(BARRACUDA, gap) == float("inf")
+        assert not optimal_gap_energy(BARRACUDA, gap).sleep
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_gap_energy(BARRACUDA, -1.0)
+
+    @given(gap=st.floats(min_value=0.0, max_value=1e5))
+    def test_decision_is_the_min(self, gap):
+        decision = optimal_gap_energy(PAPER_EVAL, gap)
+        assert decision.energy == pytest.approx(
+            min(
+                gap_idle_energy(PAPER_EVAL, gap),
+                gap_sleep_energy(PAPER_EVAL, gap),
+            )
+        )
+
+
+class TestOracleChain:
+    def test_empty_chain_is_all_standby(self):
+        result = oracle_energy(BARRACUDA, [], 100.0)
+        assert result.energy == pytest.approx(100.0 * BARRACUDA.standby_power)
+        assert result.spin_cycles == 0
+
+    def test_unsorted_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            oracle_energy(BARRACUDA, [5.0, 1.0], 100.0)
+
+    def test_horizon_before_last_arrival_rejected(self):
+        with pytest.raises(ConfigurationError):
+            oracle_energy(BARRACUDA, [50.0], 10.0)
+
+    def test_dense_chain_stays_up(self):
+        times = [float(t) for t in range(0, 100, 2)]
+        result = oracle_energy(BARRACUDA, times, 200.0)
+        # Only the lead-in sleep and the tail sleep.
+        assert result.spin_cycles == 2
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_oracle_never_worse_than_2cpm(self, seed):
+        rng = random.Random(seed)
+        times = []
+        t = 0.0
+        for _ in range(rng.randint(0, 30)):
+            t += rng.expovariate(0.05)
+            times.append(t)
+        horizon = (times[-1] if times else 0.0) + 100.0
+        oracle = oracle_energy(PAPER_EVAL, times, horizon).energy
+        online = two_cpm_energy(PAPER_EVAL, times, horizon)
+        assert oracle <= online + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_2cpm_is_two_competitive_for_zero_standby(self, seed):
+        """The Irani et al. bound, measured."""
+        rng = random.Random(seed)
+        times = []
+        t = 0.0
+        for _ in range(rng.randint(1, 30)):
+            t += rng.expovariate(0.05)
+            times.append(t)
+        horizon = times[-1] + 100.0
+        ratio = empirical_competitive_ratio(ZERO_STANDBY, [times], horizon)
+        assert ratio <= 2.0 + 1e-6
+
+
+class TestEmpiricalRatio:
+    def test_ratio_at_least_one(self):
+        chains = [[0.0, 100.0, 105.0], [50.0]]
+        ratio = empirical_competitive_ratio(PAPER_EVAL, chains, 500.0)
+        assert ratio >= 1.0 - 1e-9
+
+    def test_no_chains_ratio_one(self):
+        assert empirical_competitive_ratio(PAPER_EVAL, [], 10.0) == 1.0

@@ -1,0 +1,136 @@
+"""Tests for disk power profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.profile import (
+    BARRACUDA,
+    CHEETAH_15K5,
+    PAPER_EVAL,
+    PAPER_UNIT,
+    PROFILES,
+    DiskPowerProfile,
+    get_profile,
+)
+from repro.power.states import DiskPowerState
+
+
+class TestDerivedQuantities:
+    def test_spin_up_energy_is_power_times_time(self):
+        assert BARRACUDA.spin_up_energy == pytest.approx(24.0 * 6.0)
+
+    def test_spin_down_energy_is_power_times_time(self):
+        assert BARRACUDA.spin_down_energy == pytest.approx(9.3 * 2.0)
+
+    def test_transition_energy_sums_both_directions(self):
+        assert BARRACUDA.transition_energy == pytest.approx(
+            BARRACUDA.spin_up_energy + BARRACUDA.spin_down_energy
+        )
+
+    def test_transition_time_sums_both_directions(self):
+        assert BARRACUDA.transition_time == pytest.approx(8.0)
+
+    def test_breakeven_is_transition_energy_over_idle_power(self):
+        expected = BARRACUDA.transition_energy / BARRACUDA.idle_power
+        assert BARRACUDA.breakeven_time == pytest.approx(expected)
+
+    def test_breakeven_override_wins(self):
+        assert PAPER_UNIT.breakeven_time == 5.0
+
+    def test_max_request_energy_formula(self):
+        profile = PAPER_EVAL
+        expected = (
+            profile.transition_energy
+            + profile.breakeven_time * profile.idle_power
+        )
+        assert profile.max_request_energy == pytest.approx(expected)
+
+    def test_unit_model_max_request_energy_is_breakeven(self):
+        # Eup/down = 0, TB = 5, PI = 1 -> EPmax = 5 (used all over Fig. 3).
+        assert PAPER_UNIT.max_request_energy == pytest.approx(5.0)
+
+
+class TestStatePowers:
+    def test_power_per_state(self):
+        assert BARRACUDA.power(DiskPowerState.IDLE) == 9.3
+        assert BARRACUDA.power(DiskPowerState.ACTIVE) == 12.6
+        assert BARRACUDA.power(DiskPowerState.STANDBY) == 0.8
+        assert BARRACUDA.power(DiskPowerState.SPIN_UP) == 24.0
+        assert BARRACUDA.power(DiskPowerState.SPIN_DOWN) == 9.3
+
+    def test_state_powers_covers_every_state(self):
+        powers = BARRACUDA.state_powers()
+        assert set(powers) == set(DiskPowerState)
+
+    def test_standby_draws_far_less_than_idle(self):
+        # The premise of the whole paper (Section 1: ~one tenth).
+        for profile in (BARRACUDA, CHEETAH_15K5, PAPER_EVAL):
+            assert profile.standby_power < profile.idle_power / 4
+
+
+class TestValidation:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskPowerProfile(
+                name="bad",
+                idle_power=-1.0,
+                active_power=1.0,
+                standby_power=0.0,
+                spin_up_power=1.0,
+                spin_down_power=1.0,
+                spin_up_time=1.0,
+                spin_down_time=1.0,
+            )
+
+    def test_zero_idle_power_requires_override(self):
+        with pytest.raises(ConfigurationError):
+            DiskPowerProfile(
+                name="bad",
+                idle_power=0.0,
+                active_power=1.0,
+                standby_power=0.0,
+                spin_up_power=1.0,
+                spin_down_power=1.0,
+                spin_up_time=1.0,
+                spin_down_time=1.0,
+            )
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskPowerProfile(
+                name="bad",
+                idle_power=1.0,
+                active_power=1.0,
+                standby_power=0.0,
+                spin_up_power=1.0,
+                spin_down_power=1.0,
+                spin_up_time=1.0,
+                spin_down_time=1.0,
+                breakeven_override=-1.0,
+            )
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        for profile in (BARRACUDA, CHEETAH_15K5, PAPER_UNIT, PAPER_EVAL):
+            assert PROFILES[profile.name] is profile
+
+    def test_get_profile_by_name(self):
+        assert get_profile("seagate-barracuda") is BARRACUDA
+
+    def test_get_profile_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown power profile"):
+            get_profile("does-not-exist")
+
+
+class TestOverridesAndDescribe:
+    def test_with_overrides_returns_new_profile(self):
+        tweaked = BARRACUDA.with_overrides(idle_power=5.0)
+        assert tweaked.idle_power == 5.0
+        assert BARRACUDA.idle_power == 9.3
+        assert tweaked.name == BARRACUDA.name
+
+    def test_describe_mentions_breakeven(self):
+        text = PAPER_EVAL.describe()
+        assert "breakeven" in text
+        assert "42.7" in text

@@ -1,0 +1,27 @@
+"""Tests for disk power states."""
+
+from repro.power.states import STATE_ORDER, DiskPowerState
+
+
+def test_five_states_exist():
+    assert len(DiskPowerState) == 5
+
+
+def test_spinning_states():
+    assert DiskPowerState.IDLE.is_spinning
+    assert DiskPowerState.ACTIVE.is_spinning
+    assert not DiskPowerState.STANDBY.is_spinning
+    assert not DiskPowerState.SPIN_UP.is_spinning
+    assert not DiskPowerState.SPIN_DOWN.is_spinning
+
+
+def test_transitioning_states():
+    assert DiskPowerState.SPIN_UP.is_transitioning
+    assert DiskPowerState.SPIN_DOWN.is_transitioning
+    assert not DiskPowerState.IDLE.is_transitioning
+    assert not DiskPowerState.ACTIVE.is_transitioning
+    assert not DiskPowerState.STANDBY.is_transitioning
+
+
+def test_state_order_covers_all_states():
+    assert set(STATE_ORDER) == set(DiskPowerState)

@@ -1,0 +1,39 @@
+"""Tests for SimulationConfig."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.profile import BARRACUDA
+from repro.sim.config import SimulationConfig
+
+
+def test_defaults():
+    config = SimulationConfig(num_disks=10)
+    assert config.profile is BARRACUDA
+    assert config.policy.name == "2CPM"
+    assert config.horizon is None
+
+
+def test_derived_horizon_formula():
+    config = SimulationConfig(num_disks=2, drain_slack=5.0)
+    expected = (
+        100.0
+        + BARRACUDA.breakeven_time
+        + BARRACUDA.transition_time
+        + 5.0
+    )
+    assert config.derived_horizon(100.0) == pytest.approx(expected)
+
+
+def test_explicit_horizon_wins():
+    config = SimulationConfig(num_disks=2, horizon=42.0)
+    assert config.derived_horizon(1000.0) == 42.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(num_disks=0)
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(num_disks=1, horizon=-1.0)
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(num_disks=1, drain_slack=-1.0)

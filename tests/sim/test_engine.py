@@ -1,0 +1,156 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+def test_events_fire_in_time_order():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append("b"))
+    engine.schedule(1.0, lambda: fired.append("a"))
+    engine.schedule(9.0, lambda: fired.append("c"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    engine = SimulationEngine()
+    fired = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(2.0, lambda t=tag: fired.append(t))
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(3.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [3.5]
+    assert engine.now == 3.5
+
+
+def test_schedule_after_is_relative():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(2.0, lambda: engine.schedule_after(1.5, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [3.5]
+
+
+def test_cannot_schedule_into_the_past():
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule_after(-0.1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    engine = SimulationEngine()
+    fired = []
+    handle = engine.schedule(1.0, lambda: fired.append("cancelled"))
+    engine.schedule(2.0, lambda: fired.append("kept"))
+    handle.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_from_within_earlier_event():
+    engine = SimulationEngine()
+    fired = []
+    late = engine.schedule(5.0, lambda: fired.append("late"))
+    engine.schedule(1.0, lambda: late.cancel())
+    engine.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(10.0, lambda: fired.append(10))
+    engine.run(until=5.0)
+    assert fired == [1]
+    assert engine.now == 5.0
+    engine.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    engine = SimulationEngine()
+    engine.run(until=42.0)
+    assert engine.now == 42.0
+
+
+def test_events_scheduled_during_run_are_processed():
+    engine = SimulationEngine()
+    fired = []
+
+    def cascade():
+        fired.append("first")
+        engine.schedule_after(1.0, lambda: fired.append("second"))
+
+    engine.schedule(1.0, cascade)
+    engine.run()
+    assert fired == ["first", "second"]
+
+
+def test_max_events_guard():
+    engine = SimulationEngine()
+
+    def forever():
+        engine.schedule_after(1.0, forever)
+
+    engine.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=100)
+
+
+def test_step_returns_false_when_drained():
+    engine = SimulationEngine()
+    assert engine.step() is False
+    engine.schedule(1.0, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    engine = SimulationEngine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_events_processed_counter():
+    engine = SimulationEngine()
+    for t in range(5):
+        engine.schedule(float(t), lambda: None)
+    engine.run()
+    assert engine.events_processed == 5
+
+
+def test_run_not_reentrant():
+    engine = SimulationEngine()
+    error = []
+
+    def recurse():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            error.append(str(exc))
+
+    engine.schedule(1.0, recurse)
+    engine.run()
+    assert error and "re-entrant" in error[0]

@@ -1,0 +1,90 @@
+"""Tests for the high-level run entry points."""
+
+import pytest
+
+from repro.core.mwis import MWISOfflineScheduler
+from repro.core.static_scheduler import StaticScheduler
+from repro.disk.service import ConstantServiceModel
+from repro.errors import SchedulingError
+from repro.placement.catalog import PlacementCatalog
+from repro.power.profile import PAPER_UNIT
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import always_on_baseline, run_offline, simulate
+from repro.types import Request
+
+
+@pytest.fixture
+def setup():
+    catalog = PlacementCatalog({0: [0], 1: [1], 2: [0, 1]})
+    requests = [
+        Request(time=0.0, request_id=0, data_id=0),
+        Request(time=1.0, request_id=1, data_id=1),
+        Request(time=20.0, request_id=2, data_id=2),
+    ]
+    config = SimulationConfig(
+        num_disks=2,
+        profile=PAPER_UNIT,
+        service_model=ConstantServiceModel(0.0),
+        drain_slack=1.0,
+    )
+    return requests, catalog, config
+
+
+def test_simulate_online(setup):
+    requests, catalog, config = setup
+    report = simulate(requests, catalog, StaticScheduler(), config)
+    assert report.requests_completed == 3
+    assert report.scheduler_name == "Static"
+
+
+def test_simulate_dispatches_offline(setup):
+    requests, catalog, config = setup
+    report = simulate(requests, catalog, MWISOfflineScheduler(), config)
+    assert report.requests_completed == 3
+    assert "MWIS" in report.scheduler_name
+
+
+def test_run_offline_returns_evaluation(setup):
+    requests, catalog, config = setup
+    evaluation = run_offline(requests, catalog, MWISOfflineScheduler(), config)
+    assert evaluation.objective_energy > 0
+    assert 0 < evaluation.normalized_energy <= 1.0
+
+
+def test_run_offline_rejects_online_scheduler(setup):
+    requests, catalog, config = setup
+    with pytest.raises(SchedulingError):
+        run_offline(requests, catalog, StaticScheduler(), config)
+
+
+def test_always_on_never_spins_down(setup):
+    requests, catalog, config = setup
+    report = always_on_baseline(requests, catalog, config)
+    assert report.spin_downs == 0
+    assert report.scheduler_name == "always-on"
+
+
+def test_always_on_energy_dominates_2cpm(setup):
+    requests, catalog, config = setup
+    managed = simulate(requests, catalog, StaticScheduler(), config)
+    baseline = always_on_baseline(requests, catalog, config)
+    assert managed.total_energy <= baseline.total_energy + 1e-9
+
+
+def test_always_on_energy_is_disks_times_horizon(setup):
+    requests, catalog, config = setup
+    baseline = always_on_baseline(requests, catalog, config)
+    # Unit model: idle power 1 on both disks over the whole run.
+    assert baseline.total_energy == pytest.approx(2 * baseline.duration)
+
+
+def test_offline_normalization_consistent_with_baseline(setup):
+    """The offline evaluator's always-on model matches the simulated one
+    up to the drain slack in the horizon."""
+    requests, catalog, config = setup
+    evaluation = run_offline(requests, catalog, MWISOfflineScheduler(), config)
+    baseline = always_on_baseline(requests, catalog, config)
+    # Horizons differ by the drain slack only.
+    assert baseline.duration - evaluation.horizon == pytest.approx(
+        config.drain_slack
+    )

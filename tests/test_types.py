@@ -1,0 +1,72 @@
+"""Tests for the core value types."""
+
+import pytest
+
+from repro.types import DEFAULT_REQUEST_BYTES, Assignment, OpKind, Request
+
+
+class TestRequest:
+    def test_defaults(self):
+        request = Request(time=1.0, request_id=0, data_id=5)
+        assert request.size_bytes == DEFAULT_REQUEST_BYTES == 512 * 1024
+        assert request.op is OpKind.READ
+
+    def test_ordering_by_time_then_id(self):
+        a = Request(time=1.0, request_id=0, data_id=0)
+        b = Request(time=1.0, request_id=1, data_id=0)
+        c = Request(time=0.5, request_id=2, data_id=0)
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_data_id_not_part_of_ordering(self):
+        a = Request(time=1.0, request_id=0, data_id=9)
+        b = Request(time=1.0, request_id=0, data_id=1)
+        assert a == b  # compare fields: time + request_id only
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Request(time=-0.1, request_id=0, data_id=0)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Request(time=0.0, request_id=0, data_id=0, size_bytes=0)
+
+    def test_frozen(self):
+        request = Request(time=0.0, request_id=0, data_id=0)
+        with pytest.raises(AttributeError):
+            request.time = 5.0
+
+    def test_write_op_carried(self):
+        request = Request(time=0.0, request_id=0, data_id=0, op=OpKind.WRITE)
+        assert request.op is OpKind.WRITE
+
+
+class TestAssignmentChains:
+    def test_chains_split_by_disk(self):
+        requests = [
+            Request(time=float(t), request_id=t, data_id=0) for t in range(4)
+        ]
+        assignment = Assignment.from_mapping(
+            requests, {0: 0, 1: 1, 2: 0, 3: 1}
+        )
+        chains = assignment.chains()
+        assert [r.request_id for r in chains[0]] == [0, 2]
+        assert [r.request_id for r in chains[1]] == [1, 3]
+
+    def test_len_and_contains(self):
+        requests = [Request(time=0.0, request_id=0, data_id=0)]
+        assignment = Assignment(requests)
+        assert len(assignment) == 0
+        assert 0 not in assignment
+        assignment.assign(0, 3)
+        assert len(assignment) == 1
+        assert 0 in assignment
+        assert assignment.get(0) == 3
+        assert assignment.get(99) is None
+
+    def test_requests_property_sorted(self):
+        requests = [
+            Request(time=2.0, request_id=1, data_id=0),
+            Request(time=1.0, request_id=0, data_id=0),
+        ]
+        assignment = Assignment(requests)
+        assert [r.request_id for r in assignment.requests] == [0, 1]

@@ -1,0 +1,94 @@
+"""Tests for the Cello-like generator and HP-format parser."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.traces.cello import CelloLikeConfig, generate_cello_like, parse_hp_cello
+from repro.traces.synthetic import coefficient_of_variation, inter_arrival_gaps
+from repro.types import OpKind
+
+
+SMALL = CelloLikeConfig().scaled(0.05)
+
+
+class TestGenerator:
+    def test_request_count(self):
+        records = generate_cello_like(SMALL, seed=0)
+        assert len(records) == SMALL.num_requests
+
+    def test_sorted_by_time(self):
+        records = generate_cello_like(SMALL, seed=0)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_deterministic_given_seed(self):
+        assert generate_cello_like(SMALL, seed=5) == generate_cello_like(
+            SMALL, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        assert generate_cello_like(SMALL, seed=1) != generate_cello_like(
+            SMALL, seed=2
+        )
+
+    def test_bursty(self):
+        records = generate_cello_like(SMALL, seed=0)
+        cv = coefficient_of_variation(
+            inter_arrival_gaps([r.time for r in records])
+        )
+        assert cv > 1.5
+
+    def test_data_keys_in_population(self):
+        records = generate_cello_like(SMALL, seed=0)
+        assert all(0 <= r.data_key < SMALL.num_data for r in records)
+
+    def test_read_fraction_zero_gives_all_writes(self):
+        config = CelloLikeConfig(
+            num_requests=200, num_data=50, read_fraction=0.0
+        )
+        records = generate_cello_like(config, seed=0)
+        assert all(r.op is OpKind.WRITE for r in records)
+
+    def test_scaled_preserves_density(self):
+        full = CelloLikeConfig()
+        half = full.scaled(0.5)
+        assert half.num_requests == full.num_requests // 2
+        assert half.burst_rate == pytest.approx(full.burst_rate / 2)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CelloLikeConfig().scaled(0.0)
+
+
+class TestParser:
+    def test_parses_well_formed_lines(self):
+        lines = [
+            "# comment",
+            "",
+            "100.5 0 4096 512 R",
+            "101.0 1 8192 1024 W",
+        ]
+        records = parse_hp_cello(lines)
+        assert len(records) == 2
+        assert records[0].time == 0.0  # rebased
+        assert records[1].time == pytest.approx(0.5)
+        assert records[0].data_key == (0, 4096)
+        assert records[0].op is OpKind.READ
+        assert records[1].op is OpKind.WRITE
+
+    def test_sorts_out_of_order_lines(self):
+        lines = ["10.0 0 1 512 R", "9.0 0 2 512 R"]
+        records = parse_hp_cello(lines)
+        assert records[0].time <= records[1].time
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(TraceFormatError, match="expected 5 fields"):
+            parse_hp_cello(["1.0 0 1 512"])
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(TraceFormatError, match="op must be R or W"):
+            parse_hp_cello(["1.0 0 1 512 X"])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TraceFormatError):
+            parse_hp_cello(["abc 0 1 512 R"])

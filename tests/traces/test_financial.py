@@ -1,0 +1,73 @@
+"""Tests for the Financial1-like generator and SPC parser."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.financial import (
+    FinancialLikeConfig,
+    generate_financial_like,
+    parse_spc,
+)
+from repro.traces.cello import CelloLikeConfig, generate_cello_like
+from repro.traces.synthetic import coefficient_of_variation, inter_arrival_gaps
+from repro.types import OpKind
+
+
+SMALL = FinancialLikeConfig().scaled(0.05)
+
+
+class TestGenerator:
+    def test_request_count_and_order(self):
+        records = generate_financial_like(SMALL, seed=0)
+        assert len(records) == SMALL.num_requests
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_deterministic_given_seed(self):
+        assert generate_financial_like(SMALL, seed=3) == generate_financial_like(
+            SMALL, seed=3
+        )
+
+    def test_steadier_than_cello(self):
+        """The paper's key cross-trace contrast (Appendix A.4)."""
+        fin = generate_financial_like(SMALL, seed=0)
+        cel = generate_cello_like(CelloLikeConfig().scaled(0.05), seed=0)
+        cv_fin = coefficient_of_variation(inter_arrival_gaps([r.time for r in fin]))
+        cv_cel = coefficient_of_variation(inter_arrival_gaps([r.time for r in cel]))
+        assert cv_fin < cv_cel
+
+    def test_rate_matches_config(self):
+        records = generate_financial_like(SMALL, seed=1)
+        rate = len(records) / records[-1].time
+        assert rate == pytest.approx(SMALL.arrival_rate, rel=0.1)
+
+
+class TestSpcParser:
+    def test_parses_well_formed_lines(self):
+        lines = [
+            "0,12345,4096,r,100.25",
+            "1,99,8192,W,100.75,extra,columns",
+        ]
+        records = parse_spc(lines)
+        assert len(records) == 2
+        assert records[0].time == 0.0
+        assert records[1].time == pytest.approx(0.5)
+        assert records[0].data_key == (0, 12345)
+        assert records[0].op is OpKind.READ
+        assert records[1].op is OpKind.WRITE
+
+    def test_zero_size_clamped_to_one(self):
+        records = parse_spc(["0,1,0,r,5.0"])
+        assert records[0].size_bytes == 1
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(TraceFormatError):
+            parse_spc(["0,1,512,r"])
+
+    def test_rejects_bad_opcode(self):
+        with pytest.raises(TraceFormatError, match="opcode"):
+            parse_spc(["0,1,512,z,5.0"])
+
+    def test_skips_comments_and_blanks(self):
+        records = parse_spc(["# header", "", "0,1,512,r,5.0"])
+        assert len(records) == 1

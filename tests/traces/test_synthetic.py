@@ -1,0 +1,125 @@
+"""Tests for arrival processes and popularity models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import (
+    MMPPArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+    ZipfPopularity,
+    coefficient_of_variation,
+    inter_arrival_gaps,
+)
+
+
+class TestPoisson:
+    def test_times_monotone(self):
+        times = PoissonArrivals(5.0).generate(500, random.Random(0))
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_matches(self):
+        times = PoissonArrivals(10.0).generate(20_000, random.Random(1))
+        rate = len(times) / times[-1]
+        assert rate == pytest.approx(10.0, rel=0.05)
+
+    def test_cv_near_one(self):
+        times = PoissonArrivals(10.0).generate(20_000, random.Random(2))
+        cv = coefficient_of_variation(inter_arrival_gaps(times))
+        assert cv == pytest.approx(1.0, abs=0.1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0)
+
+
+class TestMMPP:
+    def make(self):
+        return MMPPArrivals(
+            burst_rate=100.0, quiet_rate=2.0, mean_burst=4.0, mean_quiet=20.0
+        )
+
+    def test_times_monotone(self):
+        times = self.make().generate(2000, random.Random(0))
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_burstier_than_poisson(self):
+        times = self.make().generate(20_000, random.Random(1))
+        cv = coefficient_of_variation(inter_arrival_gaps(times))
+        assert cv > 1.5
+
+    def test_mean_rate_formula(self):
+        process = self.make()
+        expected = 100.0 * (4 / 24) + 2.0 * (20 / 24)
+        assert process.mean_rate == pytest.approx(expected)
+
+    def test_empirical_rate_near_formula(self):
+        process = self.make()
+        times = process.generate(40_000, random.Random(3))
+        rate = len(times) / times[-1]
+        assert rate == pytest.approx(process.mean_rate, rel=0.15)
+
+    def test_burst_rate_must_dominate(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(burst_rate=1.0, quiet_rate=2.0, mean_burst=1, mean_quiet=1)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(burst_rate=1.0, quiet_rate=0.0, mean_burst=1, mean_quiet=1)
+
+
+class TestPareto:
+    def test_times_monotone(self):
+        times = ParetoArrivals(rate=5.0).generate(1000, random.Random(0))
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_approximately_correct(self):
+        times = ParetoArrivals(rate=5.0, shape=2.5).generate(
+            60_000, random.Random(1)
+        )
+        rate = len(times) / times[-1]
+        assert rate == pytest.approx(5.0, rel=0.2)
+
+    def test_heavy_tail_gives_high_cv(self):
+        times = ParetoArrivals(rate=5.0, shape=1.4).generate(
+            30_000, random.Random(2)
+        )
+        cv = coefficient_of_variation(inter_arrival_gaps(times))
+        assert cv > 1.2
+
+    def test_shape_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            ParetoArrivals(rate=1.0, shape=1.0)
+
+
+class TestZipfPopularity:
+    def test_item_zero_hottest(self):
+        popularity = ZipfPopularity(1000, 0.9)
+        rng = random.Random(0)
+        from collections import Counter
+
+        counts = Counter(popularity.sample(rng) for _ in range(30_000))
+        assert counts[0] == max(counts.values())
+
+    @given(n=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=20)
+    def test_samples_in_range(self, n):
+        popularity = ZipfPopularity(n, 0.9)
+        rng = random.Random(n)
+        assert all(0 <= popularity.sample(rng) < n for _ in range(50))
+
+
+class TestHelpers:
+    def test_gaps(self):
+        assert inter_arrival_gaps([1.0, 2.5, 4.0]) == [1.5, 1.5]
+
+    def test_cv_of_constant_gaps_is_zero(self):
+        assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+
+    def test_cv_requires_two_values(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_variation([1.0])

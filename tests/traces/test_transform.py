@@ -1,0 +1,114 @@
+"""Tests for trace transformations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.record import TraceRecord
+from repro.traces.transform import (
+    merge_traces,
+    scale_rate,
+    slice_requests,
+    time_window,
+    with_read_fraction,
+)
+from repro.traces.synthetic import coefficient_of_variation, inter_arrival_gaps
+from repro.types import OpKind
+
+
+def make_records():
+    return [
+        TraceRecord(time=float(t), data_key=t % 3) for t in range(10)
+    ]
+
+
+class TestSlice:
+    def test_takes_first_n_in_time_order(self):
+        records = list(reversed(make_records()))
+        sliced = slice_requests(records, 3)
+        assert [r.time for r in sliced] == [0.0, 1.0, 2.0]
+
+    def test_count_beyond_length(self):
+        assert len(slice_requests(make_records(), 100)) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slice_requests(make_records(), -1)
+
+
+class TestWindow:
+    def test_selects_and_rebases(self):
+        windowed = time_window(make_records(), 3.0, 7.0)
+        assert [r.time for r in windowed] == [0.0, 1.0, 2.0, 3.0]
+        assert windowed[0].data_key == 0  # original record at t=3
+
+    def test_end_exclusive(self):
+        windowed = time_window(make_records(), 0.0, 5.0)
+        assert len(windowed) == 5
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            time_window(make_records(), 5.0, 5.0)
+
+
+class TestScaleRate:
+    def test_doubling_rate_halves_times(self):
+        scaled = scale_rate(make_records(), 2.0)
+        assert [r.time for r in scaled] == [t / 2 for t in range(10)]
+
+    def test_preserves_burstiness_cv(self):
+        import random
+
+        rng = random.Random(0)
+        times, t = [], 0.0
+        for _ in range(2000):
+            t += rng.expovariate(1.0) * (10 if rng.random() < 0.1 else 1)
+            times.append(t)
+        records = [TraceRecord(time=x, data_key=0) for x in times]
+        original_cv = coefficient_of_variation(inter_arrival_gaps(times))
+        scaled = scale_rate(records, 3.0)
+        scaled_cv = coefficient_of_variation(
+            inter_arrival_gaps([r.time for r in scaled])
+        )
+        assert scaled_cv == pytest.approx(original_cv, rel=1e-9)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_rate(make_records(), 0.0)
+
+
+class TestMerge:
+    def test_interleaves_and_namespaces(self):
+        a = [TraceRecord(time=0.0, data_key="x"), TraceRecord(time=2.0, data_key="y")]
+        b = [TraceRecord(time=1.0, data_key="x")]
+        merged = merge_traces(a, b)
+        assert [r.time for r in merged] == [0.0, 1.0, 2.0]
+        keys = {r.data_key for r in merged}
+        assert keys == {(0, "x"), (0, "y"), (1, "x")}
+
+    def test_empty_inputs(self):
+        assert merge_traces([], []) == []
+
+
+class TestReadFraction:
+    def test_all_reads(self):
+        records = with_read_fraction(make_records(), 1.0)
+        assert all(r.op is OpKind.READ for r in records)
+
+    def test_all_writes(self):
+        records = with_read_fraction(make_records(), 0.0)
+        assert all(r.op is OpKind.WRITE for r in records)
+
+    def test_approximate_mix(self):
+        base = [TraceRecord(time=float(t), data_key=0) for t in range(4000)]
+        records = with_read_fraction(base, 0.25, seed=1)
+        reads = sum(1 for r in records if r.op is OpKind.READ)
+        assert reads == pytest.approx(1000, rel=0.1)
+
+    def test_deterministic(self):
+        assert with_read_fraction(make_records(), 0.5, seed=9) == (
+            with_read_fraction(make_records(), 0.5, seed=9)
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with_read_fraction(make_records(), 1.5)

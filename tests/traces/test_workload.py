@@ -1,0 +1,83 @@
+"""Tests for workload binding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.placement.schemes import UniformPlacement
+from repro.traces.record import TraceRecord
+from repro.traces.workload import Workload
+from repro.types import OpKind
+
+
+def make_records():
+    # data "b" accessed 3x, "a" 2x, "c" 1x; one write mixed in.
+    return [
+        TraceRecord(time=0.0, data_key="b"),
+        TraceRecord(time=1.0, data_key="a"),
+        TraceRecord(time=2.0, data_key="b"),
+        TraceRecord(time=3.0, data_key="c", op=OpKind.WRITE),
+        TraceRecord(time=4.0, data_key="b"),
+        TraceRecord(time=5.0, data_key="a"),
+        TraceRecord(time=6.0, data_key="c"),
+    ]
+
+
+class TestBinding:
+    def test_writes_filtered_by_default(self):
+        workload = Workload(make_records())
+        assert workload.num_requests == 6
+
+    def test_writes_kept_when_requested(self):
+        workload = Workload(make_records(), include_writes=True)
+        assert workload.num_requests == 7
+
+    def test_data_ids_dense_and_popularity_ordered(self):
+        workload = Workload(make_records())
+        assert workload.data_ids == [0, 1, 2]
+        # id 0 = hottest ("b": 3 reads), id 2 = coldest ("c": 1 read).
+        assert workload.access_count(0) == 3
+        assert workload.access_count(2) == 1
+
+    def test_request_ids_sequential_in_time_order(self):
+        workload = Workload(make_records())
+        requests = workload.requests
+        assert [r.request_id for r in requests] == list(range(6))
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Workload([])
+
+    def test_all_writes_rejected(self):
+        records = [TraceRecord(time=0.0, data_key="x", op=OpKind.WRITE)]
+        with pytest.raises(ConfigurationError):
+            Workload(records)
+
+
+class TestStats:
+    def test_stats_fields(self):
+        stats = Workload(make_records()).stats()
+        assert stats.num_requests == 6
+        assert stats.num_data == 3
+        assert stats.duration == pytest.approx(6.0)
+        assert stats.mean_rate == pytest.approx(1.0)
+        assert stats.max_popularity_share == pytest.approx(0.5)
+
+    def test_describe_is_readable(self):
+        text = Workload(make_records()).stats().describe()
+        assert "6 requests" in text
+
+
+class TestPlace:
+    def test_place_covers_every_data_item(self):
+        workload = Workload(make_records())
+        catalog = workload.place(UniformPlacement(replication_factor=2), 5, seed=1)
+        for data_id in workload.data_ids:
+            assert catalog.replication_factor(data_id) == 2
+
+    def test_bind_returns_requests_and_catalog(self):
+        workload = Workload(make_records())
+        requests, catalog = workload.bind(UniformPlacement(), 4, seed=0)
+        assert len(requests) == 6
+        assert len(catalog) == 3

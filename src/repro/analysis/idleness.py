@@ -30,10 +30,10 @@ def state_periods(
     state: DiskPowerState,
     end_time: float,
 ) -> List[float]:
-    """Durations of maximal ``state`` intervals in a transition log.
+    """Durations (seconds) of maximal ``state`` intervals in a transition log.
 
     The log is ``(time, new_state)`` pairs, first entry = initial state;
-    the final interval is closed at ``end_time``.
+    the final interval is closed at ``end_time`` (simulated seconds).
     """
     if not transitions:
         return []
@@ -61,6 +61,7 @@ class PeriodSummary:
 
     @staticmethod
     def of(durations: Sequence[float]) -> "PeriodSummary":
+        """Summarise a population of period durations (seconds)."""
         if not durations:
             return PeriodSummary(count=0, total=0.0, mean=0.0, longest=0.0)
         total = sum(durations)
@@ -73,7 +74,7 @@ class PeriodSummary:
 
 
 def period_summary(durations: Sequence[float]) -> PeriodSummary:
-    """Shorthand for :meth:`PeriodSummary.of`."""
+    """Shorthand for :meth:`PeriodSummary.of` (durations in seconds)."""
     return PeriodSummary.of(durations)
 
 

@@ -1,0 +1,10 @@
+"""``python -m repro.checks`` — run reprolint standalone."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.checks.cli import run_lint
+
+if __name__ == "__main__":
+    sys.exit(run_lint())

@@ -1,0 +1,92 @@
+"""Argument handling for ``repro-storage lint`` / ``python -m repro.checks``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.checks.config import CheckConfig
+from repro.checks.registry import all_rules
+from repro.checks.reporting import render_json, render_text
+from repro.checks.runner import check_paths
+
+#: What a bare ``repro-storage lint`` checks: the library, not fixtures.
+DEFAULT_PATHS = ("src",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options to ``parser`` (shared with the main CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to check (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="CODES",
+        help="comma-separated RPL codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="CODES",
+        help="comma-separated RPL codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint_args(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed ``args``; returns exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<24} {rule.summary}")
+        return 0
+    known = {rule.code for rule in all_rules()}
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    unknown = sorted((select | ignore) - known)
+    if unknown:
+        print(f"reprolint: unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    paths = args.paths or list(DEFAULT_PATHS)
+    missing = sorted(path for path in paths if not os.path.exists(path))
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    config = CheckConfig(select=select, ignore=ignore)
+    report = check_paths(paths, config)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return report.exit_code
+
+
+def run_lint(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for ``python -m repro.checks``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="reprolint: domain-aware static analysis "
+        "(unit discipline, determinism, scheduler contracts)",
+    )
+    add_lint_arguments(parser)
+    return run_lint_args(parser.parse_args(argv))
+
+
+def _parse_codes(raw: str) -> "frozenset[str]":
+    return frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+
+
+if __name__ == "__main__":
+    sys.exit(run_lint())

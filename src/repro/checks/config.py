@@ -1,0 +1,134 @@
+"""Configuration for the reprolint pass.
+
+The unit vocabulary drives the two unit-discipline rules (RPL001/RPL002):
+it names the *stems* that mark an identifier as carrying a physical quantity
+(time, energy, power), the *suffixes* that make the unit explicit in the
+name itself, and the *unit words* that count as documentation when they
+appear in a docstring.  Projects with different conventions can swap the
+vocabulary without touching the rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class UnitDomain:
+    """One physical quantity: how names betray it and how units satisfy it.
+
+    Attributes:
+        stems: Lower-case words that mark an identifier as carrying this
+            quantity (matched as whole ``snake_case`` components).
+        suffixes: Name endings that make the unit explicit (``gap_seconds``).
+        unit_words: Words whose presence in a docstring counts as
+            documenting the unit (``"Gap length in seconds."``).  The
+            words "fraction", "ratio", and "unitless" are accepted for
+            every domain — an explicitly unitless quantity (a normalized
+            energy, a reduction fraction) is documented too.
+    """
+
+    stems: Tuple[str, ...]
+    suffixes: Tuple[str, ...]
+    unit_words: Tuple[str, ...]
+
+    def name_matches(self, name: str) -> bool:
+        """True when a snake_case component of ``name`` is a domain stem."""
+        parts = name.lower().split("_")
+        return any(part in self.stems or part.rstrip("s") in self.stems for part in parts)
+
+    def name_carries_unit(self, name: str) -> bool:
+        """True when ``name`` ends in an approved unit suffix."""
+        lowered = name.lower()
+        return any(
+            lowered == suffix.lstrip("_") or lowered.endswith(suffix)
+            for suffix in self.suffixes
+        )
+
+    def documented_in(self, docstring: Optional[str]) -> bool:
+        """True when ``docstring`` mentions one of the domain's unit words."""
+        if not docstring:
+            return False
+        lowered = docstring.lower()
+        return any(
+            word in lowered for word in (*self.unit_words, *UNITLESS_WORDS)
+        )
+
+
+@dataclass(frozen=True)
+class UnitVocabulary:
+    """The unit domains reprolint knows about (paper Table 1 quantities)."""
+
+    domains: Mapping[str, UnitDomain] = field(
+        default_factory=lambda: dict(DEFAULT_DOMAINS)
+    )
+
+    def matching_domains(self, name: str) -> Tuple[str, ...]:
+        """Domains whose stems appear in ``name``, in declaration order."""
+        return tuple(
+            key for key, domain in self.domains.items() if domain.name_matches(name)
+        )
+
+
+#: Docstring words declaring a quantity explicitly unitless (any domain).
+UNITLESS_WORDS: Tuple[str, ...] = ("fraction", "ratio", "unitless", "normalized")
+
+DEFAULT_DOMAINS: Dict[str, UnitDomain] = {
+    "time": UnitDomain(
+        stems=("time", "interval", "duration", "deadline", "timeout", "elapsed", "gap"),
+        suffixes=("_seconds", "_secs", "_sec", "_s", "_ms", "_us", "_ns"),
+        unit_words=("second", "seconds", "secs", "millisecond", "milliseconds", "ms"),
+    ),
+    "energy": UnitDomain(
+        stems=("energy", "joule", "joules"),
+        suffixes=("_joules", "_j", "_wh", "_kwh"),
+        unit_words=("joule", "joules", "watt-hour", "watt-hours", "kwh"),
+    ),
+    "power": UnitDomain(
+        stems=("power", "watt", "watts"),
+        suffixes=("_watts", "_w", "_kw"),
+        unit_words=("watt", "watts", "kilowatt", "kilowatts", "kw"),
+    ),
+}
+
+#: Scheduler base classes and the method each contract requires (RPL004).
+DEFAULT_SCHEDULER_CONTRACTS: Dict[str, str] = {
+    "OnlineScheduler": "choose",
+    "BatchScheduler": "choose_batch",
+    "OfflineScheduler": "schedule",
+}
+
+#: ``numpy.random`` attributes that are seedable constructors, not
+#: module-level draws from the hidden global state (RPL003).
+SEEDABLE_NUMPY_ATTRS: FrozenSet[str] = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "MT19937", "RandomState"}
+)
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Everything a rule may consult while checking a module.
+
+    Attributes:
+        vocabulary: Unit stems/suffixes for RPL001/RPL002.
+        select: When non-empty, only these codes run.
+        ignore: Codes disabled globally (after ``select``).
+        scheduler_contracts: Base-class name -> required method (RPL004).
+        request_names: Parameter names treated as frozen ``Request``
+            instances for the mutation check (RPL004).
+    """
+
+    vocabulary: UnitVocabulary = field(default_factory=UnitVocabulary)
+    select: FrozenSet[str] = frozenset()
+    ignore: FrozenSet[str] = frozenset()
+    scheduler_contracts: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_SCHEDULER_CONTRACTS)
+    )
+    request_names: Tuple[str, ...] = ("request", "req")
+
+    def rule_enabled(self, code: str) -> bool:
+        """Apply ``select`` then ``ignore`` to one rule code."""
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore

@@ -1,0 +1,93 @@
+"""Rule base class and the RPL rule registry."""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Type
+
+from repro.checks.config import CheckConfig
+from repro.checks.violation import Violation
+from repro.errors import ConfigurationError
+
+_CODE_PATTERN = re.compile(r"^RPL\d{3}$")
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a rule sees: one parsed module plus its surroundings."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    config: CheckConfig
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str) -> Violation:
+        """Build a violation anchored at ``node`` for ``rule``."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=rule.code,
+            message=message,
+        )
+
+
+class Rule(ABC):
+    """One named, coded check over a parsed module.
+
+    Subclasses set ``code`` (``RPLxxx``), ``name`` (kebab-case slug used in
+    reports and docs), and ``summary`` (one line for ``--list-rules``), and
+    implement :meth:`check` yielding violations.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    @abstractmethod
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``context``."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_class`` to the registry by code."""
+    code = rule_class.code
+    if not _CODE_PATTERN.match(code):
+        raise ConfigurationError(
+            f"rule {rule_class.__name__} has malformed code {code!r}"
+        )
+    if code in _REGISTRY:
+        raise ConfigurationError(f"rule code {code} registered twice")
+    if not rule_class.name or not rule_class.summary:
+        raise ConfigurationError(f"rule {code} must set name and summary")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by code."""
+    _load_builtin_rules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate the rule registered under ``code``."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown rule code {code!r}; known: {sorted(_REGISTRY)}"
+        )
+
+
+def _load_builtin_rules() -> None:
+    # Importing the rules package registers every built-in rule exactly once
+    # (module import is idempotent).
+    import repro.checks.rules  # noqa: F401

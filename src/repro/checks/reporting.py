@@ -1,0 +1,36 @@
+"""Text and JSON reporters for lint runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.runner import CheckReport
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [violation.format() for violation in report.violations]
+    lines.extend(f"{path}: {message}" for path, message in report.parse_errors)
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.ok:
+        lines.append(f"reprolint: {report.files_checked} {noun} checked, no violations")
+    else:
+        lines.append(
+            f"reprolint: {report.files_checked} {noun} checked, "
+            f"{len(report.violations)} violation(s), "
+            f"{len(report.parse_errors)} parse error(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-oriented report (stable key order for diffing in CI)."""
+    payload = {
+        "files_checked": report.files_checked,
+        "violations": [violation.as_dict() for violation in report.violations],
+        "parse_errors": [
+            {"path": path, "message": message} for path, message in report.parse_errors
+        ],
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,19 @@
+"""Built-in RPL rules; importing this package registers all of them."""
+
+from __future__ import annotations
+
+from repro.checks.rules.rpl001_float_equality import FloatEqualityRule
+from repro.checks.rules.rpl002_unit_suffixes import UnitSuffixRule
+from repro.checks.rules.rpl003_unseeded_random import UnseededRandomRule
+from repro.checks.rules.rpl004_scheduler_contract import SchedulerContractRule
+from repro.checks.rules.rpl005_mutable_defaults import MutableDefaultRule
+from repro.checks.rules.rpl006_broad_except import BroadExceptRule
+
+__all__ = [
+    "BroadExceptRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "SchedulerContractRule",
+    "UnitSuffixRule",
+    "UnseededRandomRule",
+]

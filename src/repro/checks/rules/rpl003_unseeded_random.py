@@ -1,0 +1,87 @@
+"""RPL003 — unseeded ``random`` / ``numpy.random`` in library code.
+
+The paper's trace-driven results (Figs. 6-17) are reproducible only if every
+source of randomness is seeded and injected.  Module-level draws
+(``random.random()``, ``np.random.uniform()``) read hidden global state that
+any import may have perturbed; an RNG constructed without a seed
+(``random.Random()``, ``np.random.default_rng()``) differs on every run.
+
+Required instead: construct ``random.Random(seed)`` or
+``numpy.random.default_rng(seed)`` once, at a boundary that receives the
+seed explicitly, and pass the generator down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.config import SEEDABLE_NUMPY_ATTRS
+from repro.checks.registry import FileContext, Rule, register_rule
+from repro.checks.violation import Violation
+
+#: Module aliases treated as the stdlib ``random`` module.
+RANDOM_MODULE_NAMES = frozenset({"random"})
+#: Module aliases treated as numpy.
+NUMPY_MODULE_NAMES = frozenset({"numpy", "np"})
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """Flag hidden-global-state and unseeded RNG construction."""
+    code = "RPL003"
+    name = "unseeded-random"
+    summary = "no module-level RNG calls; inject a seeded Random/Generator"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # random.<draw>(...) and random.Random() without a seed.
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in RANDOM_MODULE_NAMES
+            ):
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield context.violation(
+                            self,
+                            node,
+                            "random.Random() without a seed is nondeterministic; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    yield context.violation(
+                        self,
+                        node,
+                        f"module-level random.{func.attr}() uses hidden global "
+                        "state; inject a seeded random.Random instead",
+                    )
+                continue
+            # numpy.random.<draw>(...) via ``np.random.x`` or
+            # ``from numpy import random as nprandom`` style attribute chains.
+            if (
+                isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in NUMPY_MODULE_NAMES
+            ):
+                if func.attr in SEEDABLE_NUMPY_ATTRS:
+                    if not node.args and not node.keywords:
+                        yield context.violation(
+                            self,
+                            node,
+                            f"numpy.random.{func.attr}() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                else:
+                    yield context.violation(
+                        self,
+                        node,
+                        f"module-level numpy.random.{func.attr}() uses the "
+                        "hidden global generator; inject a seeded "
+                        "numpy.random.Generator instead",
+                    )

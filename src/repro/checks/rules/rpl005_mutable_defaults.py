@@ -1,0 +1,81 @@
+"""RPL005 — mutable default arguments.
+
+A ``def f(items=[])`` default is evaluated once at function definition and
+shared across every call — state leaks between scheduler runs and breaks
+the determinism the experiments depend on.  Use ``None`` plus an explicit
+default inside the body (or a frozen/immutable value).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.checks.registry import FileContext, Rule, register_rule
+from repro.checks.violation import Violation
+
+#: Zero/low-arg constructors whose result is mutable.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """Flag mutable default argument values."""
+    code = "RPL005"
+    name = "mutable-default-argument"
+    summary = "no list/dict/set (or mutable constructor) default arguments"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            positional = [*arguments.posonlyargs, *arguments.args]
+            for arg, default in zip(
+                positional[len(positional) - len(arguments.defaults):],
+                arguments.defaults,
+            ):
+                yield from self._check_default(context, node.name, arg, default)
+            for arg, kw_default in zip(arguments.kwonlyargs, arguments.kw_defaults):
+                if kw_default is not None:
+                    yield from self._check_default(context, node.name, arg, kw_default)
+
+    def _check_default(
+        self,
+        context: FileContext,
+        function_name: str,
+        arg: ast.arg,
+        default: ast.expr,
+    ) -> Iterator[Violation]:
+        described = _describe_mutable(default)
+        if described is not None:
+            yield context.violation(
+                self,
+                default,
+                f"parameter {arg.arg!r} of {function_name}() defaults to a "
+                f"mutable {described}, shared across calls; use None and "
+                "construct inside the body",
+            )
+
+
+def _describe_mutable(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, (ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in MUTABLE_CONSTRUCTORS:
+            return f"{name}() call"
+    return None

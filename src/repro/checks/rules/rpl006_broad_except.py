@@ -1,0 +1,82 @@
+"""RPL006 — bare or overbroad ``except`` clauses.
+
+``except:`` and ``except Exception:`` swallow programming errors — a typo in
+a cost function becomes a silently wrong energy figure instead of a crash.
+Catch the narrowest exception that the handler can actually handle (the
+library's own hierarchy lives in :mod:`repro.errors`).  A broad handler
+that *re-raises* (bare ``raise`` in its body) is allowed: that is the
+log-and-propagate pattern, not swallowing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.registry import FileContext, Rule, register_rule
+from repro.checks.violation import Violation
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """Flag bare excepts and non-re-raising broad handlers."""
+    code = "RPL006"
+    name = "broad-except"
+    summary = "no bare except; except Exception only when re-raising"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield context.violation(
+                    self,
+                    node,
+                    "bare except swallows every error including SystemExit; "
+                    "name the exception type",
+                )
+                continue
+            broad = [
+                name for name in _exception_names(node.type) if name in BROAD_NAMES
+            ]
+            if broad and not _reraises(node):
+                yield context.violation(
+                    self,
+                    node,
+                    f"except {broad[0]} without re-raise hides programming "
+                    "errors; catch a specific exception (see repro.errors)",
+                )
+
+
+def _exception_names(node: ast.expr) -> Iterator[str]:
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+    elif isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a re-raise of the caught error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node.exc, ast.Name)
+                and node.exc.id == handler.name
+            ):
+                return True
+            cause = node.cause
+            if (
+                handler.name is not None
+                and isinstance(cause, ast.Name)
+                and cause.id == handler.name
+            ):
+                return True
+    return False

@@ -1,0 +1,112 @@
+"""File discovery and rule execution."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: Anything acceptable as a lint target path.
+PathSpec = Union[str, "os.PathLike[str]"]
+
+from repro.checks.config import CheckConfig
+from repro.checks.registry import FileContext, Rule, all_rules
+from repro.checks.suppression import scan_pragmas
+from repro.checks.violation import Violation
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".pytest_cache", ".mypy_cache", ".ruff_cache", "build", "dist"}
+)
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of one lint run: violations plus unparseable files."""
+
+    violations: Tuple[Violation, ...] = ()
+    parse_errors: Tuple[Tuple[str, str], ...] = ()
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+@dataclass(frozen=True)
+class _SourceFile:
+    path: str
+    source: str
+
+
+def iter_python_files(paths: Sequence[PathSpec]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files are yielded verbatim)."""
+    for path in (os.fspath(p) for p in paths):
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d not in SKIP_DIRS and not d.endswith(".egg-info")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[CheckConfig] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; raises ``SyntaxError`` on unparseable input."""
+    config = config if config is not None else CheckConfig()
+    tree = ast.parse(source, filename=path)
+    context = FileContext(path=path, source=source, tree=tree, config=config)
+    suppressions = scan_pragmas(source)
+    found: List[Violation] = []
+    for rule in rules if rules is not None else all_rules():
+        if not config.rule_enabled(rule.code):
+            continue
+        for violation in rule.check(context):
+            if not suppressions.is_suppressed(violation):
+                found.append(violation)
+    return sorted(found)
+
+
+def check_paths(
+    paths: Sequence[PathSpec],
+    config: Optional[CheckConfig] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> CheckReport:
+    """Lint every Python file under ``paths`` and aggregate the findings."""
+    config = config if config is not None else CheckConfig()
+    rule_list = list(rules) if rules is not None else all_rules()
+    violations: List[Violation] = []
+    parse_errors: List[Tuple[str, str]] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            parse_errors.append((path, f"unreadable: {exc}"))
+            continue
+        try:
+            violations.extend(check_source(source, path, config, rule_list))
+        except SyntaxError as exc:
+            parse_errors.append((path, f"syntax error: {exc.msg} (line {exc.lineno})"))
+    return CheckReport(
+        violations=tuple(sorted(violations)),
+        parse_errors=tuple(sorted(parse_errors)),
+        files_checked=files_checked,
+    )

@@ -1,0 +1,74 @@
+"""``# reprolint: disable=...`` pragma handling.
+
+Two pragma forms, both scanned with :mod:`tokenize` so strings that merely
+look like comments never count:
+
+* line pragma — ``x = 1  # reprolint: disable=RPL001,RPL005`` suppresses the
+  listed codes (or ``all``) on that physical line;
+* file pragma — a comment-only line ``# reprolint: disable-file=RPL002``
+  suppresses the listed codes for the whole module.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from repro.checks.violation import Violation
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9,\s]+)"
+)
+
+ALL_CODES = "all"
+
+
+@dataclass(frozen=True)
+class SuppressionIndex:
+    """Per-file map of suppressed codes, by line and module-wide."""
+
+    file_codes: FrozenSet[str] = frozenset()
+    line_codes: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """True when a pragma silences ``violation``."""
+        for codes in (self.file_codes, self.line_codes.get(violation.line, frozenset())):
+            if ALL_CODES in codes or violation.code in codes:
+                return True
+        return False
+
+
+def scan_pragmas(source: str) -> SuppressionIndex:
+    """Collect disable pragmas from ``source``.
+
+    Unparseable sources yield an empty index — the runner reports a syntax
+    error long before suppression matters.
+    """
+    file_codes: Set[str] = set()
+    line_codes: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return SuppressionIndex()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper() if code.strip().lower() != ALL_CODES else ALL_CODES
+            for code in match.group("codes").split(",")
+            if code.strip()
+        }
+        if match.group("kind") == "disable-file":
+            file_codes.update(codes)
+        else:
+            line_codes.setdefault(token.start[0], set()).update(codes)
+    return SuppressionIndex(
+        file_codes=frozenset(file_codes),
+        line_codes={line: frozenset(codes) for line, codes in line_codes.items()},
+    )

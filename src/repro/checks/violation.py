@@ -1,0 +1,36 @@
+"""The violation record produced by every rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at a source location.
+
+    Ordering is ``(path, line, column, code)`` so reports are stable across
+    runs regardless of rule execution order — determinism the linter demands
+    of the code it checks, applied to itself.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """GCC-style one-line rendering, e.g. ``a.py:3:7: RPL005 ...``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping used by the JSON reporter."""
+        return {
+            "path": str(self.path),
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -7,6 +7,8 @@ Subcommands:
 * ``figure <figN>`` — reproduce one figure of the paper and print its
   series table.
 * ``compare`` — quick cross-scheduler comparison at one replication factor.
+* ``lint`` — run reprolint, the domain-aware static-analysis pass
+  (see :mod:`repro.checks`).
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.checks.cli import add_lint_arguments, run_lint_args
 from repro.errors import ReproError
 from repro.experiments import common, run_figure
 from repro.experiments.figures import FIGURES
@@ -70,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", choices=("cello", "financial"), default="cello"
     )
 
+    lint = sub.add_parser(
+        "lint", help="run reprolint (domain-aware static analysis)"
+    )
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -87,6 +95,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_compare(args)
         elif args.command == "headline":
             print(headline_claims(args.trace).render())
+        elif args.command == "lint":
+            return run_lint_args(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

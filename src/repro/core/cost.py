@@ -37,7 +37,9 @@ class DiskView(Protocol):
     def queue_length(self) -> int: ...
 
     @property
-    def last_request_time(self) -> Optional[float]: ...
+    def last_request_time(self) -> Optional[float]:
+        """``Tlast`` in simulated seconds; None before any request."""
+        ...
 
 
 def energy_cost(
@@ -46,7 +48,9 @@ def energy_cost(
     now: float,
     profile: DiskPowerProfile,
 ) -> float:
-    """Eq. 5 — marginal energy of sending the next request(s) to a disk.
+    """Eq. 5 — marginal energy (joules) of sending the next request(s) to a disk.
+
+    ``last_request_time`` and ``now`` are simulated seconds.
 
     The idle branch charges the idle-time *extension*: an idle disk that
     last saw a request at ``Tlast`` would have spun down at

@@ -39,6 +39,7 @@ from repro.algorithms.independent_set import solve_mwis
 from repro.core.problem import SchedulingProblem
 from repro.core.saving import SavingTerm, gap_energy, max_request_energy, saving_window
 from repro.core.scheduler import OfflineScheduler, register_scheduler
+from repro.power.profile import DiskPowerProfile
 from repro.types import Assignment, DiskId, Request, RequestId
 
 
@@ -206,7 +207,7 @@ def _repair_unassigned(problem: SchedulingProblem, assignment: Assignment) -> No
 
 
 def _marginal_energy(
-    times: List[float], t: float, profile, epmax: float
+    times: List[float], t: float, profile: DiskPowerProfile, epmax: float
 ) -> float:
     if not times:
         return epmax

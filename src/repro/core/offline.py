@@ -37,13 +37,15 @@ class OfflineEvaluation:
     Attributes:
         objective_energy: Paper-convention energy (sum of per-request
             energies; last request of each chain pays ``EPmax``).
-        request_energy: Per-request energies.
-        total_saving: ``N * EPmax - objective_energy``.
+        request_energy: Per-request energies in joules.
+        total_saving: ``N * EPmax - objective_energy`` (joules).
         report: A :class:`SimulationReport` with synthesised per-disk state
             breakdowns, physical energy and spin counts over the common
             horizon — directly comparable with simulated reports.
-        always_on_energy: Energy of the always-on configuration over the
-            same horizon (``num_disks * horizon * PI``).
+        always_on_energy: Energy in joules of the always-on configuration
+            over the same horizon (``num_disks * horizon * PI``).
+
+    ``objective_energy`` is the Eq. 4 objective, also in joules.
     """
 
     objective_energy: float
@@ -58,7 +60,8 @@ class OfflineEvaluation:
 
     @property
     def normalized_energy(self) -> float:
-        """Physical energy relative to always-on (the Fig. 6 metric)."""
+        """Physical energy relative to always-on, a unitless joules ratio
+        (the Fig. 6 metric)."""
         return self.report.total_energy / self.always_on_energy
 
 
@@ -81,7 +84,7 @@ class OfflineEvaluator:
         return last_arrival + profile.breakeven_time + profile.spin_down_time
 
     def always_on_energy(self) -> float:
-        """All disks idle for the whole horizon."""
+        """Joules burned with all disks idle for the whole horizon."""
         return (
             self._problem.num_disks
             * self.horizon()

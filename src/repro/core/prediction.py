@@ -36,7 +36,11 @@ from repro.types import DiskId, Request
 
 
 class InterArrivalEstimator:
-    """Per-disk EWMA of inter-arrival gaps."""
+    """Per-disk EWMA of inter-arrival gaps.
+
+    ``initial_gap`` is the pessimistic prior gap estimate in seconds used
+    for disks that have not seen two requests yet.
+    """
 
     def __init__(self, smoothing: float = 0.2, initial_gap: float = 1e6):
         if not 0.0 < smoothing <= 1.0:
@@ -60,7 +64,8 @@ class InterArrivalEstimator:
         self._last_time[disk_id] = now
 
     def expected_gap(self, disk_id: DiskId) -> float:
-        """Current inter-arrival estimate (pessimistic for unseen disks)."""
+        """Current inter-arrival estimate in seconds (pessimistic for
+        unseen disks)."""
         return self._ewma_gap.get(disk_id, self._initial_gap)
 
     def idle_through_window_probability(

@@ -26,7 +26,7 @@ from repro.types import DiskId, Request, RequestId
 
 
 def max_request_energy(profile: DiskPowerProfile) -> float:
-    """``EPmax = Eup + Edown + TB * PI``."""
+    """``EPmax = Eup + Edown + TB * PI`` in joules."""
     return profile.max_request_energy
 
 
@@ -55,7 +55,8 @@ def saving_value(ti: float, tj: float, profile: DiskPowerProfile) -> float:
 
 
 def gap_energy(gap: float, profile: DiskPowerProfile) -> float:
-    """Offline-model energy of one predecessor/successor gap (Lemma 1).
+    """Offline-model energy in joules of one predecessor/successor gap
+    of ``gap`` seconds (Lemma 1).
 
     * gap < TB + Tup + Tdown — the disk stays idle the whole gap
       (cases II/III): ``gap * PI``.

@@ -60,7 +60,10 @@ class OnlineScheduler(Scheduler):
 
 
 class BatchScheduler(Scheduler):
-    """Assigns all requests queued during a scheduling interval at once."""
+    """Assigns all requests queued during a scheduling interval at once.
+
+    ``interval`` is the scheduling-interval length in simulated seconds.
+    """
 
     def __init__(self, interval: float):
         if interval <= 0:

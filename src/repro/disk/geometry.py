@@ -73,7 +73,7 @@ class DiskGeometry:
         return min(cylinder, self.cylinders - 1)
 
     def seek_time(self, distance: int) -> float:
-        """Seek time for a cylinder distance.
+        """Seek time in seconds for a cylinder distance.
 
         Uses the standard concave seek curve: a square-root ramp between the
         track-to-track and full-stroke endpoints, which matches measured
@@ -90,7 +90,7 @@ class DiskGeometry:
         return self.track_to_track_seek + span * fraction
 
     def transfer_time(self, size_bytes: int) -> float:
-        """Media transfer time for a payload of ``size_bytes``."""
+        """Media transfer time in seconds for a payload of ``size_bytes``."""
         if size_bytes < 0:
             raise ConfigurationError("size must be >= 0")
         return size_bytes / self.max_transfer_rate

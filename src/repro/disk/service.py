@@ -69,7 +69,8 @@ class AnalyticServiceModel(ServiceTimeModel):
         return seek + rotation + transfer + geometry.controller_overhead
 
     def expected_service_time(self, size_bytes: int) -> float:
-        """Closed-form expectation, handy for utilisation estimates."""
+        """Closed-form expected service seconds, handy for utilisation
+        estimates."""
         geometry = self._geometry
         # E[sqrt(U)] = 2/3 for U uniform on [0, 1].
         expected_seek = geometry.track_to_track_seek + (

@@ -104,6 +104,7 @@ class DiskStats:
 
     @property
     def total_time(self) -> float:
+        """Seconds accounted across all power states."""
         return sum(self.state_time.values())
 
     @property

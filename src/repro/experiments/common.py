@@ -68,7 +68,11 @@ _baseline_cache: Dict[Tuple, SimulationReport] = {}
 
 @dataclass(frozen=True)
 class RunResult:
-    """One (trace, placement, scheduler) cell of the evaluation."""
+    """One (trace, placement, scheduler) cell of the evaluation.
+
+    ``baseline_energy`` is the always-on energy in joules over the same
+    horizon.
+    """
 
     scheduler_key: str
     report: SimulationReport
@@ -76,6 +80,7 @@ class RunResult:
 
     @property
     def normalized_energy(self) -> float:
+        """Energy as a fraction of the always-on baseline (unitless)."""
         return self.report.total_energy / self.baseline_energy
 
     @property
@@ -84,6 +89,7 @@ class RunResult:
 
     @property
     def mean_response_time(self) -> float:
+        """Mean response time in seconds."""
         return self.report.mean_response_time
 
     def response_percentile(self, fraction: float) -> float:

@@ -30,7 +30,8 @@ class HeadlineClaims:
         best_energy_reduction: Largest energy cut vs always-on achieved by
             any energy-aware scheduler at any replication factor, as a
             fraction (paper: "up to 55%" => 0.55).
-        best_energy_cell: (scheduler key, replication factor) achieving it.
+        best_energy_cell: (scheduler key, replication factor) achieving
+            that best energy ratio.
         spin_reduction_vs_static: 1 - (energy-aware spin ops / Static spin
             ops) at replication 3 (Heuristic).
         response_reduction_vs_static: 1 - (Heuristic mean response / Static

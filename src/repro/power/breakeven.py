@@ -20,10 +20,12 @@ from repro.power.profile import DiskPowerProfile
 
 
 def breakeven_time(transition_energy: float, idle_power: float) -> float:
-    """Classic breakeven threshold ``TB = Eup/down / P_I``.
+    """Classic breakeven threshold ``TB = Eup/down / P_I`` in seconds.
 
-    An idle interval shorter than ``TB`` is cheaper to ride out spinning;
-    a longer one is cheaper to sleep through (ignoring standby power).
+    ``transition_energy`` (``Eup + Edown``) is in joules and ``idle_power``
+    (``P_I``) in watts. An idle interval shorter than ``TB`` is cheaper to
+    ride out spinning; a longer one is cheaper to sleep through (ignoring
+    standby power).
     """
     if idle_power <= 0:
         raise ConfigurationError("idle power must be positive")
@@ -38,9 +40,11 @@ def breakeven_time_with_standby(
     standby_power: float,
     transition_time: float = 0.0,
 ) -> float:
-    """Breakeven threshold accounting for non-zero standby power.
+    """Breakeven threshold (seconds) accounting for non-zero standby power.
 
-    Sleeping through an interval of length ``t`` costs
+    ``transition_energy`` is joules; the powers are watts;
+    ``transition_time`` (``Tup + Tdown``) is seconds. Sleeping through an
+    interval of length ``t`` costs
     ``Eup/down + (t - Tup - Tdown) * P_standby``; staying idle costs
     ``t * P_I``. The breakeven point solves for equality.
     """
@@ -75,7 +79,7 @@ def idle_interval_energy(profile: DiskPowerProfile, gap: float) -> float:
 
 
 def always_on_interval_energy(profile: DiskPowerProfile, gap: float) -> float:
-    """Energy an always-on disk consumes over the same gap."""
+    """Joules an always-on disk consumes over a gap of ``gap`` seconds."""
     if gap < 0:
         raise ConfigurationError("gap must be >= 0")
     return gap * profile.idle_power

@@ -20,7 +20,11 @@ from repro.power.profile import DiskPowerProfile
 
 @dataclass(frozen=True)
 class OracleDecision:
-    """Optimal handling of one idle gap."""
+    """Optimal handling of one idle gap.
+
+    ``gap`` is the idle-gap length in seconds; ``energy`` the joules the
+    optimal choice spends on it.
+    """
 
     gap: float
     sleep: bool
@@ -48,7 +52,8 @@ class OracleResult:
 
 
 def gap_sleep_energy(profile: DiskPowerProfile, gap: float) -> float:
-    """Energy of sleeping through a gap (transition + standby floor).
+    """Joules spent sleeping through a gap of ``gap`` seconds
+    (transition + standby floor).
 
     Gaps shorter than the transition time cannot fit a full spin cycle;
     sleeping is then infeasible and this returns ``inf``.
@@ -62,12 +67,12 @@ def gap_sleep_energy(profile: DiskPowerProfile, gap: float) -> float:
 
 
 def gap_idle_energy(profile: DiskPowerProfile, gap: float) -> float:
-    """Energy of riding the gap out fully spinning."""
+    """Joules spent riding out a gap of ``gap`` seconds fully spinning."""
     return gap * profile.idle_power
 
 
 def optimal_gap_energy(profile: DiskPowerProfile, gap: float) -> OracleDecision:
-    """The omniscient choice for one idle gap."""
+    """The omniscient choice for one idle gap of ``gap`` seconds."""
     if gap < 0:
         raise ConfigurationError("gap must be >= 0")
     idle = gap_idle_energy(profile, gap)
@@ -82,9 +87,10 @@ def oracle_energy(
 ) -> OracleResult:
     """Optimal energy for one disk given its (sorted) arrival times.
 
-    The disk starts asleep, wakes exactly in time for each burst it must
-    serve, and the tail gap runs to ``horizon``. An empty chain costs
-    only standby power.
+    ``arrival_times`` and ``horizon`` are simulated seconds. The disk
+    starts asleep, wakes exactly in time for each burst it must serve, and
+    the tail gap runs to ``horizon``. An empty chain costs only standby
+    power.
     """
     times = list(arrival_times)
     if any(b < a for a, b in zip(times, times[1:])):
@@ -119,7 +125,8 @@ def oracle_energy(
 def two_cpm_energy(
     profile: DiskPowerProfile, arrival_times: Sequence[float], horizon: float
 ) -> float:
-    """2CPM energy for the same chain (gap-by-gap, analytic)."""
+    """2CPM energy in joules for the same chain of arrival seconds
+    (gap-by-gap, analytic)."""
     times = list(arrival_times)
     if not times:
         return horizon * profile.standby_power

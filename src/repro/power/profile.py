@@ -80,7 +80,8 @@ class DiskPowerProfile:
 
     @property
     def transition_energy(self) -> float:
-        """``Eup/down = Eup + Edown`` — the full standby round-trip energy."""
+        """``Eup/down = Eup + Edown`` — the full standby round-trip energy
+        in joules."""
         return self.spin_up_energy + self.spin_down_energy
 
     @property
@@ -90,7 +91,7 @@ class DiskPowerProfile:
 
     @property
     def breakeven_time(self) -> float:
-        """``TB`` — the 2CPM idleness threshold (Section 1).
+        """``TB`` — the 2CPM idleness threshold in seconds (Section 1).
 
         ``TB = Eup/down / P_I`` unless an explicit override is configured
         (the paper's unit-cost example fixes ``TB = 5`` with free
@@ -102,7 +103,7 @@ class DiskPowerProfile:
 
     @property
     def max_request_energy(self) -> float:
-        """``EPmax = Eup + Edown + TB * P_I`` (Section 3.1.1).
+        """``EPmax = Eup + Edown + TB * P_I`` in joules (Section 3.1.1).
 
         The most a single request can cost under 2CPM: its disk idles a full
         breakeven period, spins down, and must spin up for the successor.
@@ -114,7 +115,7 @@ class DiskPowerProfile:
         return _POWER_FIELD_BY_STATE[state](self)
 
     def state_powers(self) -> Dict[DiskPowerState, float]:
-        """Mapping of every state to its steady-state power."""
+        """Mapping of every state to its steady-state power in watts."""
         return {state: self.power(state) for state in DiskPowerState}
 
     def with_overrides(self, **changes: float) -> "DiskPowerProfile":

@@ -40,6 +40,7 @@ class MetricsCollector:
 
     @property
     def response_times(self) -> List[float]:
+        """Per-request response times in seconds, completion order."""
         return list(self._response_times)
 
     @property
@@ -102,6 +103,7 @@ class SimulationReport:
 
     @property
     def mean_response_time(self) -> float:
+        """Mean response time in seconds (0.0 when nothing completed)."""
         if not self.response_times:
             return 0.0
         return sum(self.response_times) / len(self.response_times)
@@ -142,7 +144,7 @@ class SimulationReport:
         return fractions
 
     def normalized_energy(self, baseline_energy: float) -> float:
-        """Energy relative to a baseline run (the always-on config)."""
+        """Energy as a fraction of a baseline run's joules (always-on)."""
         if baseline_energy <= 0:
             raise ValueError("baseline energy must be positive")
         return self.total_energy / baseline_energy

@@ -18,7 +18,10 @@ EventCallback = Callable[[], None]
 
 
 class EventHandle:
-    """Handle returned by :meth:`SimulationEngine.schedule`; cancellable."""
+    """Handle returned by :meth:`SimulationEngine.schedule`; cancellable.
+
+    ``time`` is the event's firing instant in simulated seconds.
+    """
 
     __slots__ = ("time", "_cancelled")
 
@@ -37,6 +40,8 @@ class EventHandle:
 
 class SimulationEngine:
     """Event loop with a monotonic simulated clock.
+
+    ``start_time`` is the clock's initial value in simulated seconds.
 
     Typical use::
 
@@ -67,7 +72,7 @@ class SimulationEngine:
         return len(self._queue)
 
     def schedule(self, time: float, callback: EventCallback) -> EventHandle:
-        """Schedule ``callback`` at absolute simulated ``time``.
+        """Schedule ``callback`` at absolute simulated ``time`` (seconds).
 
         Raises:
             SimulationError: when scheduling into the past.
@@ -87,7 +92,8 @@ class SimulationEngine:
         return self.schedule(self._now + delay, callback)
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if drained."""
+        """Seconds timestamp of the next live event, or ``None`` if
+        drained."""
         self._drop_cancelled_head()
         if not self._queue:
             return None

@@ -176,5 +176,5 @@ def coefficient_of_variation(values: List[float]) -> float:
 
 
 def inter_arrival_gaps(times: List[float]) -> List[float]:
-    """Consecutive differences of an arrival-time sequence."""
+    """Consecutive differences (seconds) of an arrival-time sequence."""
     return [b - a for a, b in zip(times, times[1:])]

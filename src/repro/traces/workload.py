@@ -24,7 +24,10 @@ from repro.types import DataId, OpKind, Request
 
 @dataclass(frozen=True)
 class WorkloadStats:
-    """Summary statistics of a bound workload."""
+    """Summary statistics of a bound workload.
+
+    ``duration`` is the trace span in seconds (first to last arrival).
+    """
 
     num_requests: int
     num_data: int
@@ -101,6 +104,7 @@ class Workload:
 
     @property
     def duration(self) -> float:
+        """Trace span in seconds (first to last arrival)."""
         return self._requests[-1].time - self._requests[0].time
 
     def stats(self) -> WorkloadStats:

@@ -1,0 +1,376 @@
+"""Per-rule fixtures: at least one passing and one failing snippet per RPL code."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.checks import check_source, get_rule
+
+
+def lint(snippet: str) -> list:
+    """Run all rules over a dedented snippet, returning violations."""
+    return check_source(textwrap.dedent(snippet), path="fixture.py")
+
+
+def codes(snippet: str) -> set:
+    """The set of rule codes that fire on a snippet."""
+    return {violation.code for violation in lint(snippet)}
+
+
+# ---------------------------------------------------------------- RPL001
+
+RPL001_FAIL = """
+def drain(queue, now, deadline):
+    if now == deadline:
+        return []
+"""
+
+RPL001_FAIL_ATTRIBUTE = """
+def same_instant(request, view):
+    return request.time != view.now
+"""
+
+RPL001_PASS = """
+import math
+
+def drain(queue, now, deadline):
+    if now >= deadline or math.isclose(now, deadline):
+        return []
+"""
+
+
+def test_rpl001_flags_float_equality_on_time():
+    violations = [v for v in lint(RPL001_FAIL) if v.code == "RPL001"]
+    assert violations
+    assert "deadline" in violations[0].message or "now" in violations[0].message
+
+
+def test_rpl001_flags_attribute_time_comparison():
+    assert "RPL001" in codes(RPL001_FAIL_ATTRIBUTE)
+
+
+def test_rpl001_allows_ordering_and_isclose():
+    assert "RPL001" not in codes(RPL001_PASS)
+
+
+def test_rpl001_allows_none_comparison():
+    assert "RPL001" not in codes("def f(t_last):\n    return t_last == None\n")
+
+
+# ---------------------------------------------------------------- RPL002
+
+RPL002_FAIL = """
+def spin_budget(interval: float) -> float:
+    return interval * 2.0
+"""
+
+RPL002_PASS_SUFFIX = """
+def spin_budget(interval_seconds: float) -> float:
+    return interval_seconds * 2.0
+"""
+
+RPL002_PASS_DOC = '''
+def spin_budget(interval: float) -> float:
+    """Twice the scheduling interval, both in seconds."""
+    return interval * 2.0
+'''
+
+RPL002_PASS_PRIVATE = """
+def _spin_budget(interval: float) -> float:
+    return interval * 2.0
+"""
+
+RPL002_PASS_NON_NUMERIC = """
+def label(energy: "EnergyReport") -> str:
+    return energy.name
+"""
+
+RPL002_FAIL_ATTRIBUTE = """
+class Budget:
+    idle_power: float
+"""
+
+
+def test_rpl002_flags_bare_quantity_parameter():
+    fired = [v for v in lint(RPL002_FAIL) if v.code == "RPL002"]
+    assert fired and "interval" in fired[0].message
+
+
+def test_rpl002_accepts_unit_suffix():
+    assert "RPL002" not in codes(RPL002_PASS_SUFFIX)
+
+
+def test_rpl002_accepts_documented_unit():
+    assert "RPL002" not in codes(RPL002_PASS_DOC)
+
+
+def test_rpl002_ignores_private_functions():
+    assert "RPL002" not in codes(RPL002_PASS_PRIVATE)
+
+
+def test_rpl002_ignores_non_numeric_annotations():
+    assert "RPL002" not in codes(RPL002_PASS_NON_NUMERIC)
+
+
+def test_rpl002_flags_undocumented_class_attribute():
+    assert "RPL002" in codes(RPL002_FAIL_ATTRIBUTE)
+
+
+def test_rpl002_accepts_inherited_method_docstring():
+    snippet = '''
+    class Base:
+        def idle_timeout(self) -> float:
+            """Seconds before spin-down."""
+
+    class Child(Base):
+        def idle_timeout(self) -> float:
+            return 5.0
+    '''
+    assert "RPL002" not in codes(snippet)
+
+
+# ---------------------------------------------------------------- RPL003
+
+RPL003_FAIL_MODULE_CALL = """
+import random
+
+def jitter():
+    return random.random()
+"""
+
+RPL003_FAIL_UNSEEDED_CTOR = """
+import random
+
+def make_rng():
+    return random.Random()
+"""
+
+RPL003_FAIL_NUMPY = """
+import numpy as np
+
+def noise(n):
+    return np.random.uniform(size=n)
+"""
+
+RPL003_FAIL_NUMPY_UNSEEDED_RNG = """
+import numpy as np
+
+def make_rng():
+    return np.random.default_rng()
+"""
+
+RPL003_PASS = """
+import random
+
+def make_rng(seed: int):
+    return random.Random(seed)
+
+def jitter(rng: random.Random):
+    return rng.random()
+"""
+
+RPL003_PASS_NUMPY = """
+import numpy as np
+
+def make_rng(seed: int):
+    return np.random.default_rng(seed)
+"""
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        RPL003_FAIL_MODULE_CALL,
+        RPL003_FAIL_UNSEEDED_CTOR,
+        RPL003_FAIL_NUMPY,
+        RPL003_FAIL_NUMPY_UNSEEDED_RNG,
+    ],
+)
+def test_rpl003_flags_nondeterministic_rng(snippet):
+    assert "RPL003" in codes(snippet)
+
+
+@pytest.mark.parametrize("snippet", [RPL003_PASS, RPL003_PASS_NUMPY])
+def test_rpl003_accepts_seeded_injected_rng(snippet):
+    assert "RPL003" not in codes(snippet)
+
+
+# ---------------------------------------------------------------- RPL004
+
+RPL004_FAIL_MISSING_METHOD = """
+class LazyScheduler(OnlineScheduler):
+    def helper(self):
+        return 1
+"""
+
+RPL004_FAIL_MUTATION = """
+class GreedyScheduler(OnlineScheduler):
+    def choose(self, request, view):
+        request.time = 0.0
+        return 0
+"""
+
+RPL004_FAIL_SETATTR = """
+class SneakyScheduler(OnlineScheduler):
+    def choose(self, request, view):
+        object.__setattr__(request, "time", 0.0)
+        return 0
+"""
+
+RPL004_PASS = """
+class FineScheduler(OnlineScheduler):
+    def choose(self, request, view):
+        return min(view.locations(request.data_id))
+"""
+
+RPL004_PASS_ABSTRACT = """
+from abc import abstractmethod
+
+class StillAbstract(OnlineScheduler):
+    @abstractmethod
+    def helper(self): ...
+"""
+
+
+def test_rpl004_flags_missing_family_method():
+    violations = [v for v in lint(RPL004_FAIL_MISSING_METHOD) if v.code == "RPL004"]
+    assert violations and "choose" in violations[0].message
+
+
+def test_rpl004_flags_request_mutation():
+    violations = [v for v in lint(RPL004_FAIL_MUTATION) if v.code == "RPL004"]
+    assert violations and "frozen Request" in violations[0].message
+
+
+def test_rpl004_flags_object_setattr_bypass():
+    assert "RPL004" in codes(RPL004_FAIL_SETATTR)
+
+
+def test_rpl004_accepts_conforming_scheduler():
+    assert "RPL004" not in codes(RPL004_PASS)
+
+
+def test_rpl004_skips_abstract_intermediates():
+    assert "RPL004" not in codes(RPL004_PASS_ABSTRACT)
+
+
+def test_rpl004_batch_and_offline_contracts():
+    assert "RPL004" in codes("class B(BatchScheduler):\n    pass\n")
+    assert "RPL004" in codes("class O(OfflineScheduler):\n    pass\n")
+    assert "RPL004" not in codes(
+        "class B(BatchScheduler):\n    def choose_batch(self, requests, view):\n"
+        "        return {}\n"
+    )
+
+
+# ---------------------------------------------------------------- RPL005
+
+RPL005_FAIL = """
+def collect(request, bucket=[]):
+    bucket.append(request)
+    return bucket
+"""
+
+RPL005_PASS = """
+def collect(request, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(request)
+    return bucket
+"""
+
+
+def test_rpl005_flags_mutable_default():
+    violations = [v for v in lint(RPL005_FAIL) if v.code == "RPL005"]
+    assert violations and "bucket" in violations[0].message
+
+
+def test_rpl005_flags_constructor_and_kwonly_defaults():
+    assert "RPL005" in codes("def f(x=dict()):\n    return x\n")
+    assert "RPL005" in codes("def f(*, x={}):\n    return x\n")
+
+
+def test_rpl005_accepts_none_sentinel():
+    assert "RPL005" not in codes(RPL005_PASS)
+
+
+def test_rpl005_accepts_immutable_defaults():
+    assert "RPL005" not in codes("def f(x=(), y=0, z='a'):\n    return x\n")
+
+
+# ---------------------------------------------------------------- RPL006
+
+RPL006_FAIL_BARE = """
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+"""
+
+RPL006_FAIL_BROAD = """
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None
+"""
+
+RPL006_PASS_NARROW = """
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+"""
+
+RPL006_PASS_RERAISE = """
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        log("failed")
+        raise
+"""
+
+
+def test_rpl006_flags_bare_except():
+    violations = [v for v in lint(RPL006_FAIL_BARE) if v.code == "RPL006"]
+    assert violations and "bare except" in violations[0].message
+
+
+def test_rpl006_flags_broad_except_without_reraise():
+    assert "RPL006" in codes(RPL006_FAIL_BROAD)
+
+
+def test_rpl006_accepts_narrow_except():
+    assert "RPL006" not in codes(RPL006_PASS_NARROW)
+
+
+def test_rpl006_accepts_broad_except_with_reraise():
+    assert "RPL006" not in codes(RPL006_PASS_RERAISE)
+
+
+# ---------------------------------------------------------------- catalogue
+
+
+def test_every_rule_has_a_failing_fixture():
+    """Meta-check: the suite above exercises each registered code."""
+    from repro.checks import all_rules
+
+    exercised = {
+        "RPL001",
+        "RPL002",
+        "RPL003",
+        "RPL004",
+        "RPL005",
+        "RPL006",
+    }
+    assert {rule.code for rule in all_rules()} == exercised
+
+
+def test_get_rule_roundtrip():
+    rule = get_rule("RPL005")
+    assert rule.code == "RPL005"
+    assert rule.name == "mutable-default-argument"

@@ -1,50 +1,20 @@
 """Ablation: the WSC batch scheduling interval (Section 3.2 / Fig. 8 gap).
 
-The batch interval trades information for latency: a longer interval
-batches more requests per set-cover instance (better covers, fewer woken
-disks) but every request eats the queueing delay. The paper fixes 0.1 s;
-this sweep shows what that choice buys.
+Thin wrapper over :func:`repro.experiments.ablations.run_batch_interval`;
+the assertions live here.
 """
 
-from repro.analysis.tables import format_series_table
-from repro.core.wsc import WSCBatchScheduler
-from repro.experiments import common
-from repro.sim.runner import always_on_baseline, simulate
+from repro.experiments.ablations import BATCH_INTERVALS, run_batch_interval
 
-INTERVALS = (0.01, 0.1, 1.0, 5.0)
-SCALE = 0.2
-
-
-def run_sweep():
-    requests, catalog, disks = common.get_binding("cello", 3, 1.0, SCALE)
-    config = common.make_config(disks)
-    baseline = always_on_baseline(requests, catalog, config)
-    energies, responses, p90s = [], [], []
-    for interval in INTERVALS:
-        scheduler = WSCBatchScheduler(interval=interval)
-        report = simulate(requests, catalog, scheduler, config)
-        energies.append(report.total_energy / baseline.total_energy)
-        responses.append(report.mean_response_time)
-        p90s.append(report.response_percentile(0.9))
-    return energies, responses, p90s
+PANEL = "ablation: WSC batch interval (cello, rf=3)"
 
 
 def test_ablation_batch_interval(benchmark, show):
-    energies, responses, p90s = benchmark.pedantic(
-        run_sweep, rounds=1, iterations=1
-    )
-    show(
-        format_series_table(
-            "interval (s)",
-            INTERVALS,
-            {
-                "energy vs always-on": energies,
-                "mean response (s)": responses,
-                "p90 response (s)": p90s,
-            },
-            title="ablation: WSC batch interval (cello, rf=3)",
-        )
-    )
+    result = benchmark.pedantic(run_batch_interval, rounds=1, iterations=1)
+    show(result.render())
+    energies = result.series(PANEL, "energy vs always-on")
+    responses = result.series(PANEL, "mean response (s)")
+    p90s = result.series(PANEL, "p90 response (s)")
     # The p90 floor rises with the interval (every request queues).
     assert p90s[-1] > p90s[0]
     # More batching information never costs energy...
@@ -54,6 +24,6 @@ def test_ablation_batch_interval(benchmark, show):
     assert responses[-1] > responses[0] * 1.5
     # The paper's 0.1 s choice: within 10% of the sweep's best energy at a
     # p90 cost bounded by (roughly) one interval.
-    paper_index = INTERVALS.index(0.1)
+    paper_index = BATCH_INTERVALS.index(0.1)
     assert energies[paper_index] <= min(energies) + 0.1
     assert p90s[paper_index] <= 0.1 + p90s[0] + 0.05

@@ -1,83 +1,19 @@
 """Ablation: arrival burstiness (the Appendix A.4 cross-trace claim).
 
-The paper attributes the Cello-vs-Financial1 response-time gap entirely
-to burstiness. This ablation isolates the variable: three arrival models
-(MMPP = Cello-like, Poisson = Financial1-like, Pareto = heavy-tailed) at
-one mean rate and one popularity model, through the same scheduler.
+Thin wrapper over :func:`repro.experiments.ablations.run_burstiness`; the
+assertion lives here.
 """
 
-import random
+from repro.experiments.ablations import run_burstiness
 
-from repro.analysis.tables import format_table
-from repro.core.heuristic import HeuristicScheduler
-from repro.experiments import common
-from repro.placement.schemes import ZipfOriginalUniformReplicas
-from repro.sim.runner import always_on_baseline, simulate
-from repro.traces.record import TraceRecord
-from repro.traces.synthetic import (
-    MMPPArrivals,
-    ParetoArrivals,
-    PoissonArrivals,
-    ZipfPopularity,
-    coefficient_of_variation,
-    inter_arrival_gaps,
-)
-from repro.traces.workload import Workload
-
-NUM_REQUESTS = 14_000
-NUM_DATA = 6_000
-NUM_DISKS = 36
-RATE = 4.3  # matches the scaled Cello-like mean rate at this disk count
-
-PROCESSES = (
-    ("mmpp (cello-like)", MMPPArrivals(24.0, 0.6, 4.0, 22.0)),
-    ("poisson (financial-like)", PoissonArrivals(RATE)),
-    ("pareto (heavy tail)", ParetoArrivals(RATE, shape=1.6)),
-)
-
-
-def run_sweep():
-    rows = []
-    responses = {}
-    for label, process in PROCESSES:
-        rng = random.Random(7)
-        times = process.generate(NUM_REQUESTS, rng)
-        popularity = ZipfPopularity(NUM_DATA, 0.9)
-        records = [
-            TraceRecord(time=t, data_key=popularity.sample(rng)) for t in times
-        ]
-        workload = Workload(records)
-        requests, catalog = workload.bind(
-            ZipfOriginalUniformReplicas(replication_factor=3),
-            num_disks=NUM_DISKS,
-            seed=8,
-        )
-        config = common.make_config(NUM_DISKS)
-        baseline = always_on_baseline(requests, catalog, config)
-        report = simulate(requests, catalog, HeuristicScheduler(), config)
-        cv = coefficient_of_variation(inter_arrival_gaps(times))
-        responses[label] = report.mean_response_time
-        rows.append(
-            [
-                label,
-                f"{cv:.2f}",
-                f"{report.total_energy / baseline.total_energy:.3f}",
-                f"{report.mean_response_time * 1000:.0f}",
-                f"{report.response_percentile(0.9) * 1000:.0f}",
-            ]
-        )
-    return rows, responses
+PANEL = "ablation: arrival burstiness (Heuristic, rf=3, same rate)"
 
 
 def test_ablation_burstiness(benchmark, show):
-    rows, responses = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    show(
-        format_table(
-            ["arrivals", "CV", "energy", "mean resp (ms)", "p90 (ms)"],
-            rows,
-            title="ablation: arrival burstiness (Heuristic, rf=3, same rate)",
-        )
-    )
+    result = benchmark.pedantic(run_burstiness, rounds=1, iterations=1)
+    show(result.render())
+    labels = list(result.panel(PANEL).x_values)
+    responses = dict(zip(labels, result.series(PANEL, "mean response (s)")))
     # The Appendix A.4 claim, isolated: burstier arrivals -> slower
     # responses, all else equal.
     assert responses["poisson (financial-like)"] < responses["mmpp (cello-like)"]

@@ -1,72 +1,24 @@
 """Ablation: power-aware caching in front of the scheduler.
 
-The paper's related work (Zhu & Zhou) argues caching is complementary to
-energy-aware scheduling: a cache absorbs re-references, and *power-aware*
-eviction (spare the blocks of sleeping disks) turns hits into avoided
-spin-ups. This sweep runs the Heuristic with no cache, plain LRU, and
-PA-LRU at several capacities.
+Thin wrapper over :func:`repro.experiments.ablations.run_cache`; the
+assertions live here.
 """
 
-from dataclasses import replace
+from repro.experiments.ablations import run_cache
 
-from repro.analysis.tables import format_table
-from repro.cache.policy import LRUBlockCache, PowerAwareLRUCache
-from repro.experiments import common
-from repro.sim.runner import always_on_baseline, simulate
-
-SCALE = 0.2
-CAPACITIES = (200, 1000)
-
-
-def run_sweep():
-    requests, catalog, disks = common.get_binding("cello", 3, 1.0, SCALE)
-    base_config = common.make_config(disks)
-    baseline = always_on_baseline(requests, catalog, base_config)
-    rows = []
-    results = {}
-
-    def run(label, factory):
-        config = (
-            base_config
-            if factory is None
-            else replace(base_config, cache_factory=factory)
-        )
-        scheduler = common.make_scheduler_for_key("heuristic")
-        report = simulate(requests, catalog, scheduler, config)
-        energy = report.total_energy / baseline.total_energy
-        rows.append(
-            [
-                label,
-                f"{energy:.3f}",
-                f"{report.cache_hit_ratio * 100:.0f}%",
-                f"{report.mean_response_time * 1000:.0f}",
-            ]
-        )
-        results[label] = energy
-
-    run("no cache", None)
-    for capacity in CAPACITIES:
-        run(f"lru({capacity})", lambda c=capacity: LRUBlockCache(c))
-        run(
-            f"pa-lru({capacity})",
-            lambda c=capacity: PowerAwareLRUCache(c, scan_depth=16),
-        )
-    return rows, results
+PANEL = "ablation: block cache (cello, rf=3, Heuristic)"
 
 
 def test_ablation_cache(benchmark, show):
-    rows, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    show(
-        format_table(
-            ["cache", "energy vs always-on", "hit ratio", "mean resp (ms)"],
-            rows,
-            title="ablation: block cache (cello @ 0.2, rf=3, Heuristic)",
-        )
-    )
+    result = benchmark.pedantic(run_cache, rounds=1, iterations=1)
+    show(result.render())
+    labels = list(result.panel(PANEL).x_values)
+    energies = result.series(PANEL, "energy vs always-on")
+    by_label = dict(zip(labels, energies))
     # Any cache saves energy over none (absorbed re-references).
-    assert results["lru(1000)"] < results["no cache"]
-    assert results["pa-lru(1000)"] < results["no cache"]
+    assert by_label["lru(1000)"] < by_label["no cache"]
+    assert by_label["pa-lru(1000)"] < by_label["no cache"]
     # Bigger caches do not cost energy.
-    assert results["lru(1000)"] <= results["lru(200)"] + 0.01
+    assert by_label["lru(1000)"] <= by_label["lru(200)"] + 0.01
     # Power-aware eviction is at least as good as plain LRU.
-    assert results["pa-lru(1000)"] <= results["lru(1000)"] + 0.01
+    assert by_label["pa-lru(1000)"] <= by_label["lru(1000)"] + 0.01

@@ -1,124 +1,38 @@
 """Ablation: the library's paper-suggested extensions.
 
-Three ideas the paper sketches but does not evaluate, measured here:
-
-* **Prediction** (Section 3.3 future work) — the EWMA-discounted cost
-  function vs the plain Heuristic.
-* **Write off-loading** (the Section 2.1 write-path assumption) — a
-  70%-write workload with and without off-loading.
-* **Covering subset** (Section 1's Hadoop-combo remark) — concentrating
-  reads on a minimal covering group of disks.
+Thin wrapper over :func:`repro.experiments.ablations.run_extensions`; the
+assertions live here.
 """
 
-import random
+from repro.experiments.ablations import run_extensions
 
-from repro.analysis.tables import format_table
-from repro.core.covering_scheduler import CoveringSetScheduler
-from repro.core.heuristic import HeuristicScheduler
-from repro.core.prediction import PredictiveHeuristicScheduler
-from repro.core.static_scheduler import StaticScheduler
-from repro.core.writeoffload import WriteOffloadingScheduler
-from repro.experiments import common
-from repro.placement.schemes import ZipfOriginalUniformReplicas
-from repro.sim.runner import always_on_baseline, simulate
-from repro.traces.cello import CelloLikeConfig, generate_cello_like
-from repro.traces.workload import Workload
-
-SCALE = 0.2
-NUM_DISKS = 36
-
-
-def read_world():
-    workload = Workload(
-        generate_cello_like(CelloLikeConfig().scaled(SCALE), seed=1)
-    )
-    requests, catalog = workload.bind(
-        ZipfOriginalUniformReplicas(replication_factor=3),
-        num_disks=NUM_DISKS,
-        seed=8,
-    )
-    return requests, catalog
-
-
-def write_world():
-    config = CelloLikeConfig(
-        num_requests=int(70_000 * SCALE),
-        num_data=int(30_000 * SCALE),
-        burst_rate=120.0 * SCALE,
-        quiet_rate=3.0 * SCALE,
-        read_fraction=0.3,
-    )
-    workload = Workload(generate_cello_like(config, seed=2), include_writes=True)
-    requests, catalog = workload.bind(
-        ZipfOriginalUniformReplicas(replication_factor=3),
-        num_disks=NUM_DISKS,
-        seed=8,
-    )
-    return requests, catalog
-
-
-def run_all():
-    config = common.make_config(NUM_DISKS)
-    rows = []
-
-    requests, catalog = read_world()
-    baseline = always_on_baseline(requests, catalog, config)
-    for scheduler in (
-        HeuristicScheduler(),
-        PredictiveHeuristicScheduler(),
-        CoveringSetScheduler(catalog),
-    ):
-        report = simulate(requests, catalog, scheduler, config)
-        rows.append(
-            [
-                scheduler.name,
-                "reads",
-                f"{report.total_energy / baseline.total_energy:.3f}",
-                f"{report.mean_response_time * 1000:.0f}",
-            ]
-        )
-    read_results = {row[0]: float(row[2]) for row in rows}
-
-    wrequests, wcatalog = write_world()
-    wbaseline = always_on_baseline(wrequests, wcatalog, config)
-    offloader = WriteOffloadingScheduler(HeuristicScheduler())
-    for scheduler in (HeuristicScheduler(), offloader):
-        report = simulate(wrequests, wcatalog, scheduler, config)
-        rows.append(
-            [
-                scheduler.name,
-                "70% writes",
-                f"{report.total_energy / wbaseline.total_energy:.3f}",
-                f"{report.mean_response_time * 1000:.0f}",
-            ]
-        )
-    write_results = {row[0]: float(row[2]) for row in rows[-2:]}
-    return rows, read_results, write_results, offloader
+READ_PANEL = "ablation: extensions, read workload (cello, rf=3)"
+WRITE_PANEL = "ablation: extensions, 70% writes (cello, rf=3)"
 
 
 def test_ablation_extensions(benchmark, show):
-    rows, read_results, write_results, offloader = benchmark.pedantic(
-        run_all, rounds=1, iterations=1
-    )
-    show(
-        format_table(
-            ["scheduler", "workload", "energy vs always-on", "mean resp (ms)"],
-            rows,
-            title="ablation: paper-suggested extensions (cello @ 0.2, rf=3)",
-        )
-    )
-    plain = read_results["Heuristic(a=0.2,b=100)"]
-    predictive = read_results["PredictiveHeuristic(a=0.2,b=100)"]
-    covering = [v for k, v in read_results.items() if k.startswith("CoveringSet")][0]
+    result = benchmark.pedantic(run_extensions, rounds=1, iterations=1)
+    show(result.render())
 
+    read_labels = list(result.panel(READ_PANEL).x_values)
+    read_energy = dict(
+        zip(read_labels, result.series(READ_PANEL, "energy vs always-on"))
+    )
+    plain = read_energy["Heuristic(a=0.2,b=100)"]
+    predictive = read_energy["PredictiveHeuristic(a=0.2,b=100)"]
+    covering = [v for k, v in read_energy.items() if k.startswith("CoveringSet")][0]
     # Prediction should not hurt energy materially on a skewed trace.
     assert predictive <= plain * 1.1
     # Concentrating on the covering subset also saves vs always-on.
     assert covering < 1.0
 
+    write_labels = list(result.panel(WRITE_PANEL).x_values)
+    write_energy = dict(
+        zip(write_labels, result.series(WRITE_PANEL, "energy vs always-on"))
+    )
+    plain_writes = write_energy["Heuristic(a=0.2,b=100)"]
+    offload_key = [k for k in write_labels if k != "Heuristic(a=0.2,b=100)"][0]
     # Write off-loading beats the write-oblivious Heuristic on a
     # write-heavy workload, and actually diverted writes.
-    offload_key = offloader.name
-    plain_writes = write_results["Heuristic(a=0.2,b=100)"]
-    assert write_results[offload_key] <= plain_writes + 0.01
-    assert offloader.total_offloaded > 0
+    assert write_energy[offload_key] <= plain_writes + 0.01
+    assert result.total_offloaded > 0

@@ -1,64 +1,23 @@
 """Ablation: inactivity-period reshaping (the paper's problem (b), measured).
 
-Section 1 motivates the whole approach with problem (b): disks rarely see
-inactivity periods longer than the breakeven threshold, so 2CPM alone
-saves little. Energy-aware scheduling *re-shapes the workload* — few
-disks absorb the traffic, the rest accumulate long standby periods. This
-ablation measures the standby-period distribution per scheduler from the
-recorded per-disk transition logs.
+Thin wrapper over :func:`repro.experiments.ablations.run_idle_periods`;
+the assertions live here.
 """
 
-from dataclasses import replace
+from repro.experiments.ablations import IDLE_SCHEDULERS, run_idle_periods
 
-from repro.analysis.idleness import period_summary, standby_periods_of_report
-from repro.analysis.tables import format_table
-from repro.experiments import common
-from repro.sim.runner import simulate
-
-SCALE = 0.2
-SCHEDULERS = ("random", "static", "heuristic", "wsc")
-
-
-def run_sweep():
-    requests, catalog, disks = common.get_binding("cello", 3, 1.0, SCALE)
-    config = replace(common.make_config(disks), record_transitions=True)
-    summaries = {}
-    for key in SCHEDULERS:
-        scheduler = common.make_scheduler_for_key(key)
-        report = simulate(requests, catalog, scheduler, config)
-        summaries[key] = period_summary(standby_periods_of_report(report))
-    return summaries
+PANEL = "ablation: standby-period reshaping (cello, rf=3)"
 
 
 def test_ablation_standby_periods(benchmark, show):
-    summaries = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    rows = [
-        [
-            common.SCHEDULER_LABELS[key],
-            summary.count,
-            f"{summary.mean:.0f}",
-            f"{summary.longest:.0f}",
-            f"{summary.total:.0f}",
-        ]
-        for key, summary in summaries.items()
-    ]
-    show(
-        format_table(
-            [
-                "scheduler",
-                "standby periods",
-                "mean (s)",
-                "longest (s)",
-                "total standby (s)",
-            ],
-            rows,
-            title="ablation: standby-period reshaping (cello @ 0.2, rf=3)",
-        )
-    )
+    result = benchmark.pedantic(run_idle_periods, rounds=1, iterations=1)
+    show(result.render())
+    totals = dict(zip(IDLE_SCHEDULERS, result.series(PANEL, "total standby (s)")))
+    means = dict(zip(IDLE_SCHEDULERS, result.series(PANEL, "mean (s)")))
     # Energy-aware scheduling accumulates more total standby time than
     # both baselines...
     for key in ("heuristic", "wsc"):
-        assert summaries[key].total > summaries["random"].total
-        assert summaries[key].total >= summaries["static"].total * 0.95
+        assert totals[key] > totals["random"]
+        assert totals[key] >= totals["static"] * 0.95
     # ...in *longer* average stretches than Random's scatter allows.
-    assert summaries["heuristic"].mean > summaries["random"].mean
+    assert means["heuristic"] > means["random"]

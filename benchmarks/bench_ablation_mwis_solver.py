@@ -1,93 +1,27 @@
 """Ablation: MWIS solver choice and graph-construction cap (Section 3.1).
 
-Compares the paper's GWMIN greedy against GWMIN2 and the unweighted
-min-degree greedy on the same conflict graph, and sweeps the per-request
-successor cap (``neighborhood``) that bounds graph size. Expected story:
-
-* weighted greedies (GWMIN/GWMIN2) beat the unweighted min-degree rule;
-* a small cap already captures almost all of the achievable saving —
-  the nearest successors carry the largest Eq. 3 weights — which is why
-  the default benchmarks can cap the construction safely.
+Thin wrapper over :func:`repro.experiments.ablations.run_mwis_solver`;
+the assertions live here.
 """
 
-from repro.analysis.tables import format_series_table, format_table
-from repro.core.mwis import MWISOfflineScheduler
-from repro.core.offline import OfflineEvaluator
-from repro.core.problem import SchedulingProblem
-from repro.experiments import common
+from repro.experiments.ablations import MWIS_METHODS, run_mwis_solver
 
-SCALE = 0.1
-CAPS = (1, 2, 4, 8)
-METHODS = ("gwmin", "gwmin2", "min-degree")
-
-
-def build_problem():
-    requests, catalog, disks = common.get_binding("cello", 3, 1.0, SCALE)
-    config = common.make_config(disks)
-    return SchedulingProblem.build(requests, catalog, config.profile, disks)
-
-
-def run_solver_comparison(problem):
-    evaluator = OfflineEvaluator(problem)
-    rows = []
-    for method in METHODS:
-        scheduler = MWISOfflineScheduler(method=method, neighborhood=4)
-        result = scheduler.schedule_detailed(problem)
-        evaluation = evaluator.evaluate(result.assignment)
-        rows.append(
-            [
-                method,
-                f"{result.estimated_saving:.0f}",
-                f"{evaluation.total_saving:.0f}",
-                f"{evaluation.normalized_energy:.3f}",
-            ]
-        )
-    return rows
-
-
-def run_cap_sweep(problem):
-    evaluator = OfflineEvaluator(problem)
-    savings, nodes = [], []
-    for cap in CAPS:
-        scheduler = MWISOfflineScheduler(method="gwmin", neighborhood=cap)
-        result = scheduler.schedule_detailed(problem)
-        evaluation = evaluator.evaluate(result.assignment)
-        savings.append(evaluation.total_saving)
-        nodes.append(float(result.num_nodes))
-    return savings, nodes
+SOLVER_PANEL = "ablation: MWIS solver (cello, rf=3, cap=4)"
+CAP_PANEL = "ablation: successor cap (gwmin)"
 
 
 def test_ablation_mwis_solver(benchmark, show):
-    problem = build_problem()
+    result = benchmark.pedantic(run_mwis_solver, rounds=1, iterations=1)
+    show(result.render())
 
-    def run_all():
-        return run_solver_comparison(problem), run_cap_sweep(problem)
-
-    (solver_rows, (savings, nodes)) = benchmark.pedantic(
-        run_all, rounds=1, iterations=1
-    )
-    show(
-        format_table(
-            ["solver", "MWIS weight", "true saving", "energy vs always-on"],
-            solver_rows,
-            title="ablation: MWIS solver (cello @ 0.1 scale, rf=3, cap=4)",
-        )
-    )
-    show(
-        format_series_table(
-            "cap",
-            CAPS,
-            {"true saving (J)": savings, "graph nodes": nodes},
-            title="ablation: successor cap (gwmin)",
-            precision=0,
-        )
-    )
-
-    by_method = {row[0]: float(row[3]) for row in solver_rows}
+    energies = result.series(SOLVER_PANEL, "energy vs always-on")
+    by_method = dict(zip(MWIS_METHODS, energies))
     # Weighted greedies never lose to the unweighted min-degree rule.
     assert by_method["gwmin"] <= by_method["min-degree"] + 0.01
     assert by_method["gwmin2"] <= by_method["min-degree"] + 0.01
 
+    savings = result.series(CAP_PANEL, "true saving (J)")
+    nodes = result.series(CAP_PANEL, "graph nodes")
     # Graph size grows with the cap; the saving saturates early.
     assert nodes == sorted(nodes)
     assert savings[1] >= savings[0] - 1e-6

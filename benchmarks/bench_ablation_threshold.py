@@ -1,88 +1,20 @@
 """Ablation: the 2CPM idleness threshold (design choice behind Section 1).
 
-Sweeps the spin-down threshold as a multiple of the breakeven time TB and
-measures energy + response time, plus the empirical competitive ratio of
-2CPM against the per-disk offline power oracle on the *actual* per-disk
-arrival chains. The expected story:
-
-* aggressive thresholds (<< TB) burn transition energy and spin-up
-  delays; conservative ones (>> TB) burn idle energy;
-* the breakeven threshold (x1) sits near the energy minimum — the
-  2-competitiveness design, measured;
-* the measured competitive ratio is far below the worst-case 2.
+Thin wrapper over :func:`repro.experiments.ablations.run_threshold` (see
+its docstring for the expected story); the assertions live here.
 """
 
-from dataclasses import replace
-from typing import Dict, List
+from repro.experiments.ablations import THRESHOLD_FACTORS, run_threshold
 
-from repro.analysis.tables import format_series_table
-from repro.core.scheduler import OnlineScheduler
-from repro.experiments import common
-from repro.power.oracle import empirical_competitive_ratio
-from repro.power.policy import ScaledBreakevenPolicy
-from repro.power.profile import PAPER_EVAL
-from repro.sim.runner import always_on_baseline, simulate
-from repro.types import DiskId
-
-FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
-SCALE = 0.2
-
-
-class RecordingScheduler(OnlineScheduler):
-    """Wraps a scheduler and records each disk's arrival chain."""
-
-    def __init__(self, inner: OnlineScheduler):
-        self._inner = inner
-        self.chains: Dict[DiskId, List[float]] = {}
-
-    def choose(self, request, view):
-        disk_id = self._inner.choose(request, view)
-        self.chains.setdefault(disk_id, []).append(view.now)
-        return disk_id
-
-    @property
-    def name(self):
-        return self._inner.name
-
-
-def run_sweep():
-    requests, catalog, disks = common.get_binding("cello", 3, 1.0, SCALE)
-    base_config = common.make_config(disks)
-    baseline = always_on_baseline(requests, catalog, base_config)
-    energies, responses, ratios = [], [], []
-    for factor in FACTORS:
-        config = replace(base_config, policy=ScaledBreakevenPolicy(factor))
-        scheduler = RecordingScheduler(
-            common.make_scheduler_for_key("heuristic")
-        )
-        report = simulate(requests, catalog, scheduler, config)
-        energies.append(report.total_energy / baseline.total_energy)
-        responses.append(report.mean_response_time)
-        ratios.append(
-            empirical_competitive_ratio(
-                PAPER_EVAL, list(scheduler.chains.values()), report.duration
-            )
-        )
-    return energies, responses, ratios
+PANEL = "ablation: spin-down threshold (cello, rf=3, Heuristic)"
 
 
 def test_ablation_threshold(benchmark, show):
-    energies, responses, ratios = benchmark.pedantic(
-        run_sweep, rounds=1, iterations=1
-    )
-    show(
-        format_series_table(
-            "threshold xTB",
-            FACTORS,
-            {
-                "energy vs always-on": energies,
-                "mean response (s)": responses,
-                "2CPM/oracle ratio": ratios,
-            },
-            title="ablation: spin-down threshold (cello, rf=3, Heuristic)",
-        )
-    )
-    index_of_one = FACTORS.index(1.0)
+    result = benchmark.pedantic(run_threshold, rounds=1, iterations=1)
+    show(result.render())
+    energies = result.series(PANEL, "energy vs always-on")
+    ratios = result.series(PANEL, "2CPM/oracle ratio")
+    index_of_one = THRESHOLD_FACTORS.index(1.0)
     # The breakeven threshold is within 10% of the sweep's energy minimum.
     assert energies[index_of_one] <= min(energies) + 0.1
     # Very conservative thresholds cost more than the breakeven setting.

@@ -7,6 +7,9 @@ Subcommands:
 * ``figure <figN>`` — reproduce one figure of the paper and print its
   series table.
 * ``compare`` — quick cross-scheduler comparison at one replication factor.
+* ``bench`` — run a figure/ablation through the parallel experiment
+  harness and write a schema-versioned ``BENCH_<id>.json`` trajectory
+  document (see :mod:`repro.experiments.harness.bench`).
 * ``lint`` — run reprolint, the domain-aware static-analysis pass
   (see :mod:`repro.checks`).
 """
@@ -73,6 +76,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", choices=("cello", "financial"), default="cello"
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run a figure/ablation sweep and write BENCH_<id>.json",
+    )
+    bench.add_argument(
+        "bench_id",
+        nargs="?",
+        default=None,
+        help="a figure id (fig5..fig17), 'headline', an ablation_* id, "
+        "'all', or 'list' (omit with --validate)",
+    )
+    bench.add_argument("--scale", type=float, default=None)
+    bench.add_argument("--mwis-scale", type=float, default=None)
+    bench.add_argument("--seed", type=int, default=None)
+    bench.add_argument(
+        "--jobs", type=int, default=1, help="process-pool workers"
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent run cache for this invocation",
+    )
+    bench.add_argument("--output-dir", default=".")
+    bench.add_argument(
+        "--validate",
+        metavar="FILE",
+        default=None,
+        help="validate an existing BENCH_*.json instead of running",
+    )
+
     lint = sub.add_parser(
         "lint", help="run reprolint (domain-aware static analysis)"
     )
@@ -95,6 +128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_compare(args)
         elif args.command == "headline":
             print(headline_claims(args.trace).render())
+        elif args.command == "bench":
+            return _run_bench(args)
         elif args.command == "lint":
             return run_lint_args(args)
     except ReproError as exc:
@@ -117,6 +152,59 @@ def _print_figure(figure_id: str) -> None:
             print()
     else:
         print(result.render())
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench module sits above the figure modules in
+    # the import graph and is only needed by this subcommand.
+    from repro.experiments.harness import bench as bench_mod
+    from repro.experiments.harness.cache import RunCache
+    from repro.experiments.harness.schema import validate_bench_file
+
+    if args.validate is not None:
+        violations = validate_bench_file(args.validate)
+        if violations:
+            for violation in violations:
+                print(f"schema violation: {violation}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid bench document")
+        return 0
+
+    if args.bench_id is None:
+        print(
+            "error: bench_id is required unless --validate is given",
+            file=sys.stderr,
+        )
+        return 2
+    if args.bench_id == "list":
+        for bench_id, definition in bench_mod.BENCHES.items():
+            print(f"{bench_id:26s} {definition.description}")
+        return 0
+
+    cache = RunCache(enabled=False) if args.no_cache else None
+    kwargs = dict(
+        scale=args.scale,
+        mwis_scale=args.mwis_scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        output_dir=args.output_dir,
+    )
+    if args.bench_id == "all":
+        for path in bench_mod.run_all(**kwargs):
+            print(f"wrote {path}")
+        return 0
+    payload, path = bench_mod.run_bench(args.bench_id, **kwargs)
+    cache_stats = payload["cache"]
+    print(f"wrote {path}")
+    print(
+        f"wall {payload['wall_clock_s']:.2f}s  "
+        f"events {payload['events_processed']}  "
+        f"({payload['events_per_sec']:.0f}/s)  "
+        f"cache {cache_stats['hits']}/{cache_stats['hits'] + cache_stats['misses']}"
+        f" hits ({cache_stats['hit_rate']:.0%})"
+    )
+    return 0
 
 
 def _run_simulate(args: argparse.Namespace) -> None:

@@ -131,6 +131,12 @@ class DiskStats:
 
     _lump_energy: float = 0.0
 
+    @property
+    def lump_transition_energy(self) -> float:
+        """Joules charged via :meth:`add_transition_energy` (serialisers
+        need it to rebuild an exact ledger)."""
+        return self._lump_energy
+
     def add_transition_energy(self, joules: float) -> None:
         """Charge transition energy not representable as power x time."""
         if joules < 0:

@@ -1,10 +1,12 @@
 """Experiment harness reproducing every figure of the paper's evaluation."""
 
+from repro.experiments.ablations import ABLATIONS, AblationResult, run_ablation
 from repro.experiments.common import (
     REPLICATION_FACTORS,
     SCHEDULER_LABELS,
     RunResult,
     clear_caches,
+    configure,
     get_baseline,
     get_binding,
     get_workload,
@@ -19,6 +21,8 @@ from repro.experiments.figures import (
 from repro.experiments.headline import HeadlineClaims, headline_claims
 
 __all__ = [
+    "ABLATIONS",
+    "AblationResult",
     "BreakdownResult",
     "FIGURES",
     "FigureResult",
@@ -27,10 +31,12 @@ __all__ = [
     "RunResult",
     "SCHEDULER_LABELS",
     "clear_caches",
+    "configure",
     "get_baseline",
     "get_binding",
     "get_workload",
     "headline_claims",
+    "run_ablation",
     "run_cell",
     "run_figure",
 ]

@@ -5,7 +5,16 @@ a pytest session computes each (trace, placement, scheduler) combination
 exactly once — Fig. 6, 7, 8, 9, 12 and 13 share the same underlying runs,
 just as the paper's figures all describe one experiment campaign.
 
-Scale control (environment variables, read at import):
+Since the harness rewrite this module is a thin façade over
+:mod:`repro.experiments.harness`: every run is identified by a
+:class:`~repro.experiments.harness.spec.RunSpec`, fetched from (in
+order) an in-memory memo, the persistent on-disk
+:class:`~repro.experiments.harness.cache.RunCache`, or a fresh compute —
+so repeated figure benches and pytest sessions reuse runs across
+processes and invocations, not just within one interpreter.
+
+Scale control (environment variables, read at import; override at
+runtime with :func:`configure` or by assigning the module globals):
 
 * ``REPRO_SCALE`` — trace/disks scale factor for simulated runs
   (default 1.0 = the paper's full 70 000 requests on 180 disks; the
@@ -14,40 +23,36 @@ Scale control (environment variables, read at import):
   the MWIS conflict graph at full scale has ~1M nodes, which pure-Python
   greedy MWIS handles too slowly for a default benchmark run).
 * ``REPRO_SEED`` — base RNG seed (default 1).
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — persistent run cache
+  location / kill-switch (see :mod:`repro.experiments.harness.cache`).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional
 
-from repro.core import (
-    CostFunction,
-    HeuristicScheduler,
-    MWISOfflineScheduler,
-    RandomScheduler,
-    StaticScheduler,
-    WSCBatchScheduler,
+from repro.core.scheduler import Scheduler
+from repro.experiments.harness import cache as harness_cache
+from repro.experiments.harness import runner as harness_runner
+from repro.experiments.harness.cache import RunCache
+from repro.experiments.harness.serialize import report_from_payload
+from repro.experiments.harness.spec import (
+    DEFAULT_PROFILE,
+    RunSpec,
+    baseline_spec,
+    cell_spec,
 )
-from repro.errors import ConfigurationError
-from repro.placement.schemes import ZipfOriginalUniformReplicas
-from repro.power.profile import PAPER_EVAL
 from repro.report import SimulationReport
-from repro.sim import SimulationConfig, always_on_baseline, run_offline, simulate
-from repro.traces import (
-    CelloLikeConfig,
-    FinancialLikeConfig,
-    Workload,
-    generate_cello_like,
-    generate_financial_like,
-)
+from repro.sim import SimulationConfig
+from repro.traces import Workload
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 MWIS_SCALE = float(os.environ.get("REPRO_MWIS_SCALE", "0.15"))
 BASE_SEED = int(os.environ.get("REPRO_SEED", "1"))
 
-PAPER_NUM_DISKS = 180
+PAPER_NUM_DISKS = harness_runner.PAPER_NUM_DISKS
 REPLICATION_FACTORS = (1, 2, 3, 4, 5)
 
 #: Display names matching the paper's legends.
@@ -60,10 +65,39 @@ SCHEDULER_LABELS = {
     "always-on": "Always-on",
 }
 
-_workload_cache: Dict[Tuple, Workload] = {}
-_binding_cache: Dict[Tuple, Tuple] = {}
-_run_cache: Dict[Tuple, "RunResult"] = {}
-_baseline_cache: Dict[Tuple, SimulationReport] = {}
+_run_cache: Dict[RunSpec, "RunResult"] = {}
+_payload_cache: Dict[RunSpec, Dict] = {}
+_baseline_cache: Dict[RunSpec, SimulationReport] = {}
+_persistent_cache: Optional[RunCache] = None
+
+
+def configure(
+    scale: Optional[float] = None,
+    mwis_scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> None:
+    """Override the campaign's scale/seed at runtime (CLI ``--scale``)."""
+    global SCALE, MWIS_SCALE, BASE_SEED
+    if scale is not None:
+        SCALE = scale
+    if mwis_scale is not None:
+        MWIS_SCALE = mwis_scale
+    if seed is not None:
+        BASE_SEED = seed
+
+
+def persistent_cache() -> RunCache:
+    """The process-wide persistent run cache (lazily constructed)."""
+    global _persistent_cache
+    if _persistent_cache is None:
+        _persistent_cache = RunCache()
+    return _persistent_cache
+
+
+def set_persistent_cache(cache: Optional[RunCache]) -> None:
+    """Swap (or, with ``None``, lazily re-resolve) the persistent cache."""
+    global _persistent_cache
+    _persistent_cache = cache
 
 
 @dataclass(frozen=True)
@@ -101,83 +135,82 @@ class RunResult:
 
 def num_disks_for(scale: float) -> int:
     """Disk count at a given scale (paper: 180 at scale 1.0)."""
-    return max(2, round(PAPER_NUM_DISKS * scale))
+    return harness_runner.num_disks_for(scale)
 
 
-def get_workload(trace: str, scale: float, seed: int = BASE_SEED) -> Workload:
+def get_workload(
+    trace: str, scale: float, seed: Optional[int] = None
+) -> Workload:
     """Cached synthetic workload (``trace`` in {"cello", "financial"})."""
-    key = (trace, scale, seed)
-    if key not in _workload_cache:
-        if trace == "cello":
-            records = generate_cello_like(CelloLikeConfig().scaled(scale), seed=seed)
-        elif trace == "financial":
-            records = generate_financial_like(
-                FinancialLikeConfig().scaled(scale), seed=seed
-            )
-        else:
-            raise ConfigurationError(f"unknown trace {trace!r}")
-        _workload_cache[key] = Workload(records)
-    return _workload_cache[key]
+    return harness_runner.get_workload(
+        trace, scale, BASE_SEED if seed is None else seed
+    )
 
 
 def get_binding(
     trace: str,
     replication_factor: int,
     zipf_exponent: float = 1.0,
-    scale: float = SCALE,
-    seed: int = BASE_SEED,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
 ):
     """Cached (requests, catalog, num_disks) for one placement."""
-    key = (trace, replication_factor, zipf_exponent, scale, seed)
-    if key not in _binding_cache:
-        workload = get_workload(trace, scale, seed)
-        disks = num_disks_for(scale)
-        requests, catalog = workload.bind(
-            ZipfOriginalUniformReplicas(
-                replication_factor=replication_factor,
-                zipf_exponent=zipf_exponent,
-            ),
-            num_disks=disks,
-            seed=seed + 7,
-        )
-        _binding_cache[key] = (requests, catalog, disks)
-    return _binding_cache[key]
+    return harness_runner.get_binding(
+        trace,
+        replication_factor,
+        zipf_exponent,
+        SCALE if scale is None else scale,
+        BASE_SEED if seed is None else seed,
+    )
 
 
-def make_config(num_disks: int, seed: int = BASE_SEED) -> SimulationConfig:
+def make_config(num_disks: int, seed: Optional[int] = None) -> SimulationConfig:
     """The evaluation's simulation config (PAPER_EVAL profile, 2CPM)."""
-    return SimulationConfig(num_disks=num_disks, profile=PAPER_EVAL, seed=seed)
-
-
-def get_baseline(
-    trace: str, scale: float = SCALE, seed: int = BASE_SEED
-) -> SimulationReport:
-    """Always-on energy for a trace (placement-independent up to ~0.1%)."""
-    key = (trace, scale, seed)
-    if key not in _baseline_cache:
-        requests, catalog, disks = get_binding(trace, 1, 1.0, scale, seed)
-        _baseline_cache[key] = always_on_baseline(
-            requests, catalog, make_config(disks, seed)
-        )
-    return _baseline_cache[key]
+    return harness_runner.make_config(
+        num_disks, DEFAULT_PROFILE, BASE_SEED if seed is None else seed
+    )
 
 
 def make_scheduler_for_key(
     key: str, alpha: float = 0.2, beta: float = 100.0
-):
+) -> Scheduler:
     """Instantiate the scheduler a key refers to (paper configurations)."""
-    cost = CostFunction(alpha=alpha, beta=beta)
-    if key == "static":
-        return StaticScheduler()
-    if key == "random":
-        return RandomScheduler(seed=BASE_SEED)
-    if key == "heuristic":
-        return HeuristicScheduler(cost_function=cost)
-    if key == "wsc":
-        return WSCBatchScheduler(cost_function=cost)
-    if key == "mwis":
-        return MWISOfflineScheduler(method="gwmin", neighborhood=4)
-    raise ConfigurationError(f"unknown scheduler key {key!r}")
+    spec = cell_spec(
+        "cello", 1, key, alpha=alpha, beta=beta, scale=1.0, seed=BASE_SEED
+    )
+    return harness_runner.make_scheduler(spec)
+
+
+def _fetch_payload(spec: RunSpec) -> Dict:
+    """Payload for a spec: in-memory memo, disk cache, or fresh compute."""
+    cached = _payload_cache.get(spec)
+    if cached is not None:
+        return cached
+    payload = persistent_cache().load_payload(spec)
+    if payload is None:
+        payload = harness_runner.execute_spec(spec)
+        persistent_cache().store_payload(spec, payload)
+    _payload_cache[spec] = payload
+    return payload
+
+
+def prime_payloads(payloads: Mapping[RunSpec, Dict]) -> None:
+    """Seed the in-memory payload memo (the sweep runner's hand-off)."""
+    _payload_cache.update(payloads)
+
+
+def get_baseline(
+    trace: str, scale: Optional[float] = None, seed: Optional[int] = None
+) -> SimulationReport:
+    """Always-on energy for a trace (placement-independent up to ~0.1%)."""
+    spec = baseline_spec(
+        trace,
+        scale=SCALE if scale is None else scale,
+        seed=BASE_SEED if seed is None else seed,
+    )
+    if spec not in _baseline_cache:
+        _baseline_cache[spec] = report_from_payload(_fetch_payload(spec)["report"])
+    return _baseline_cache[spec]
 
 
 def run_cell(
@@ -188,46 +221,70 @@ def run_cell(
     alpha: float = 0.2,
     beta: float = 100.0,
     scale: Optional[float] = None,
+    seed: Optional[int] = None,
 ) -> RunResult:
     """Run (or fetch from cache) one cell of the evaluation matrix.
 
-    MWIS cells run at ``REPRO_MWIS_SCALE`` with their own always-on
-    baseline, so their *normalised* energies remain comparable with the
-    simulated cells.
+    MWIS cells run at ``MWIS_SCALE`` with their own always-on baseline,
+    so their *normalised* energies remain comparable with the simulated
+    cells.
     """
     if scale is None:
         scale = MWIS_SCALE if scheduler_key == "mwis" else SCALE
-    key = (trace, replication_factor, scheduler_key, zipf_exponent, alpha, beta, scale)
-    if key in _run_cache:
-        return _run_cache[key]
-
-    requests, catalog, disks = get_binding(
-        trace, replication_factor, zipf_exponent, scale
+    if seed is None:
+        seed = BASE_SEED
+    spec = cell_spec(
+        trace,
+        replication_factor,
+        scheduler_key,
+        zipf_exponent=zipf_exponent,
+        alpha=alpha,
+        beta=beta,
+        scale=scale,
+        seed=seed,
     )
-    config = make_config(disks)
-    baseline = _baseline_for_scale(trace, scale)
-    scheduler = make_scheduler_for_key(scheduler_key, alpha, beta)
-    if scheduler_key == "mwis":
-        evaluation = run_offline(requests, catalog, scheduler, config)
-        report = evaluation.report
-    else:
-        report = simulate(requests, catalog, scheduler, config)
+    memo = _run_cache.get(spec)
+    if memo is not None:
+        return memo
+    report = report_from_payload(_fetch_payload(spec)["report"])
+    baseline = get_baseline(trace, scale=scale, seed=seed)
     result = RunResult(
         scheduler_key=scheduler_key,
         report=report,
         baseline_energy=baseline.total_energy,
     )
-    _run_cache[key] = result
+    _run_cache[spec] = result
     return result
 
 
-def _baseline_for_scale(trace: str, scale: float) -> SimulationReport:
-    return get_baseline(trace, scale)
-
-
 def clear_caches() -> None:
-    """Testing hook: drop all memoised workloads/runs."""
-    _workload_cache.clear()
-    _binding_cache.clear()
+    """Testing hook: drop all in-memory memos (not the on-disk cache)."""
     _run_cache.clear()
+    _payload_cache.clear()
     _baseline_cache.clear()
+    harness_runner.clear_memos()
+
+
+# Re-exported for callers that poke the cache machinery directly.
+__all__ = [
+    "BASE_SEED",
+    "MWIS_SCALE",
+    "PAPER_NUM_DISKS",
+    "REPLICATION_FACTORS",
+    "RunResult",
+    "SCALE",
+    "SCHEDULER_LABELS",
+    "clear_caches",
+    "configure",
+    "get_baseline",
+    "get_binding",
+    "get_workload",
+    "harness_cache",
+    "make_config",
+    "make_scheduler_for_key",
+    "num_disks_for",
+    "persistent_cache",
+    "prime_payloads",
+    "run_cell",
+    "set_persistent_cache",
+]

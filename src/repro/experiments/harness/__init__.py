@@ -1,0 +1,91 @@
+"""Parallel experiment harness: specs, persistent cache, sweep runner.
+
+The harness turns the experiment campaign into data: every run is a
+content-addressed :class:`RunSpec`, resolved through a persistent
+:class:`RunCache` or computed (serially or over a process pool) by the
+:class:`SweepRunner`, always producing byte-identical canonical report
+JSON.  :mod:`repro.experiments.harness.bench` builds the
+``repro-storage bench`` trajectory documents on top; it is deliberately
+*not* imported here (it pulls in the figure modules, which come back
+through :mod:`repro.experiments.common`).
+"""
+
+from repro.experiments.harness.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    RunCache,
+    cache_enabled_by_env,
+    cache_salt,
+    default_cache_root,
+)
+from repro.experiments.harness.runner import (
+    PAPER_NUM_DISKS,
+    SweepOutcome,
+    SweepPoint,
+    SweepRunner,
+    clear_memos,
+    execute_spec,
+    make_scheduler,
+    num_disks_for,
+)
+from repro.experiments.harness.schema import (
+    BENCH_SCHEMA,
+    validate_bench_file,
+    validate_bench_payload,
+)
+from repro.experiments.harness.serialize import (
+    REPORT_SCHEMA_VERSION,
+    canonical_json,
+    canonical_report_json,
+    report_from_payload,
+    report_to_payload,
+    sha256_hex,
+)
+from repro.experiments.harness.spec import (
+    BASELINE_SCHEDULER_KEY,
+    DEFAULT_PROFILE,
+    KIND_BASELINE,
+    KIND_CELL,
+    SCHEDULER_KEYS,
+    TRACES,
+    RunSpec,
+    baseline_of,
+    baseline_spec,
+    cell_spec,
+)
+
+__all__ = [
+    "BASELINE_SCHEDULER_KEY",
+    "BENCH_SCHEMA",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "DEFAULT_PROFILE",
+    "KIND_BASELINE",
+    "KIND_CELL",
+    "PAPER_NUM_DISKS",
+    "REPORT_SCHEMA_VERSION",
+    "RunCache",
+    "RunSpec",
+    "SCHEDULER_KEYS",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRunner",
+    "TRACES",
+    "baseline_of",
+    "baseline_spec",
+    "cache_enabled_by_env",
+    "cache_salt",
+    "canonical_json",
+    "canonical_report_json",
+    "cell_spec",
+    "clear_memos",
+    "default_cache_root",
+    "execute_spec",
+    "make_scheduler",
+    "num_disks_for",
+    "report_from_payload",
+    "report_to_payload",
+    "sha256_hex",
+    "validate_bench_file",
+    "validate_bench_payload",
+]

@@ -1,0 +1,190 @@
+"""Persistent, content-addressed result cache for simulation runs.
+
+Each entry is one JSON file named by the SHA-256 of the canonical
+:meth:`~repro.experiments.harness.spec.RunSpec.key_payload` plus a
+code-version salt, so results are shared across processes and
+invocations but never across incompatible code versions.  Entries carry
+a digest of their payload; corrupt or truncated files are detected on
+load, dropped, and transparently recomputed by the caller.
+
+Environment:
+
+* ``REPRO_CACHE_DIR`` — cache root (default
+  ``$XDG_CACHE_HOME/repro-storage`` or ``~/.cache/repro-storage``).
+* ``REPRO_NO_CACHE=1`` — disable the persistent cache entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import repro
+from repro.experiments.harness.serialize import (
+    REPORT_SCHEMA_VERSION,
+    canonical_json,
+    sha256_hex,
+)
+from repro.experiments.harness.spec import RunSpec
+
+#: Bump when the on-disk entry layout changes.
+CACHE_FORMAT_VERSION = 1
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+def cache_salt() -> str:
+    """Code-version salt folded into every cache key.
+
+    Bundles the package version with the report/cache schema versions, so
+    a release or payload-layout change invalidates old entries instead of
+    resurfacing stale physics.
+    """
+    return (
+        f"repro-{repro.__version__}"
+        f"/report-{REPORT_SCHEMA_VERSION}"
+        f"/cache-{CACHE_FORMAT_VERSION}"
+    )
+
+
+def default_cache_root() -> Path:
+    """Cache directory honouring ``REPRO_CACHE_DIR`` and XDG defaults."""
+    explicit = os.environ.get(_ENV_CACHE_DIR)
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-storage"
+
+
+def cache_enabled_by_env() -> bool:
+    """False when ``REPRO_NO_CACHE`` requests a cache-free run."""
+    return os.environ.get(_ENV_NO_CACHE, "").lower() not in ("1", "true", "yes")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/corruption counters of one :class:`RunCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class RunCache:
+    """On-disk run cache; safe for concurrent writers (atomic replace)."""
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self._root = Path(root) if root is not None else default_cache_root()
+        self._enabled = cache_enabled_by_env() if enabled is None else enabled
+        self.stats = CacheStats()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def key_for(self, spec: RunSpec) -> str:
+        """SHA-256 cache key of a spec under the current code salt."""
+        return sha256_hex(
+            canonical_json({"salt": cache_salt(), "spec": spec.key_payload()})
+        )
+
+    def entry_path(self, spec: RunSpec) -> Path:
+        """Where a spec's entry lives (two-level fan-out by key prefix)."""
+        key = self.key_for(spec)
+        return self._root / key[:2] / f"{key}.json"
+
+    def load_payload(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``spec``, or ``None`` on miss/corruption.
+
+        A corrupt entry (unparsable, wrong key, or payload digest
+        mismatch) is deleted and reported as a miss — it is never
+        returned.
+        """
+        if not self._enabled:
+            return None
+        path = self.entry_path(spec)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        payload = self._verify(raw, self.key_for(spec))
+        if payload is None:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store_payload(self, spec: RunSpec, payload: Dict[str, Any]) -> None:
+        """Persist a payload for ``spec`` (atomic write, last writer wins)."""
+        if not self._enabled:
+            return
+        key = self.key_for(spec)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "salt": cache_salt(),
+            "key": key,
+            "spec": spec.key_payload(),
+            "payload_sha256": sha256_hex(canonical_json(payload)),
+            "payload": payload,
+        }
+        path = self.entry_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(entry), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    @staticmethod
+    def _verify(raw: str, expected_key: str) -> Optional[Dict[str, Any]]:
+        """Parse and integrity-check one entry; ``None`` when invalid."""
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        if entry.get("key") != expected_key:
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        digest = entry.get("payload_sha256")
+        if digest != sha256_hex(canonical_json(payload)):
+            return None
+        return payload
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,165 @@
+"""Run specifications: the content-addressed identity of one simulation.
+
+A :class:`RunSpec` names everything that determines a run's result —
+trace, placement knobs, scheduler, cost-function parameters, scale, seed
+and power profile — and nothing else.  It is hashable (the in-memory
+memo key), picklable (crosses the :class:`~concurrent.futures.
+ProcessPoolExecutor` boundary) and canonically serialisable (the
+persistent cache key), so the same spec resolves to the same cached
+result across processes and invocations.
+
+Two kinds exist:
+
+* ``cell`` — one (trace, placement, scheduler) cell of the evaluation
+  matrix, simulated (or, for MWIS, scheduled offline and evaluated
+  analytically);
+* ``baseline`` — the always-on normalisation run for a (trace, scale,
+  seed, profile) combination.  Placement/scheduler fields are pinned to
+  fixed values so equivalent baselines share one cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+KIND_CELL = "cell"
+KIND_BASELINE = "baseline"
+
+TRACES: Tuple[str, ...] = ("cello", "financial")
+SCHEDULER_KEYS: Tuple[str, ...] = ("random", "static", "heuristic", "wsc", "mwis")
+BASELINE_SCHEDULER_KEY = "always-on"
+
+#: Profile used by the paper's evaluation (see ``repro.power.profile``).
+DEFAULT_PROFILE = "paper-evaluation"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Identity of one run.
+
+    Attributes:
+        kind: ``"cell"`` or ``"baseline"``.
+        trace: Synthetic trace family (``"cello"`` or ``"financial"``).
+        replication_factor: Replicas per data item (paper: 1-5).
+        scheduler_key: Scheduler under test, or ``"always-on"``.
+        zipf_exponent: Placement skew ``z`` of the original copies.
+        alpha: Cost-function energy weight (dimensionless).
+        beta: Cost-function balance weight (dimensionless).
+        scale: Trace/disk scale factor (1.0 = the paper's full campaign).
+        seed: Base RNG seed; workload, placement and service-time draws
+            all derive from it.
+        profile: Power-profile name (resolved via ``repro.power.profile``).
+    """
+
+    kind: str
+    trace: str
+    replication_factor: int
+    scheduler_key: str
+    zipf_exponent: float
+    alpha: float
+    beta: float
+    scale: float
+    seed: int
+    profile: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_CELL, KIND_BASELINE):
+            raise ConfigurationError(f"unknown spec kind {self.kind!r}")
+        if self.trace not in TRACES:
+            raise ConfigurationError(f"unknown trace {self.trace!r}")
+        if self.kind == KIND_CELL and self.scheduler_key not in SCHEDULER_KEYS:
+            raise ConfigurationError(
+                f"unknown scheduler key {self.scheduler_key!r}"
+            )
+        if self.kind == KIND_BASELINE and self.scheduler_key != BASELINE_SCHEDULER_KEY:
+            raise ConfigurationError(
+                "baseline specs must use the always-on scheduler key"
+            )
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be > 0")
+
+    def key_payload(self) -> Dict[str, Any]:
+        """The spec as a plain dict — the canonical cache-key material."""
+        return {
+            "kind": self.kind,
+            "trace": self.trace,
+            "replication_factor": self.replication_factor,
+            "scheduler_key": self.scheduler_key,
+            "zipf_exponent": self.zipf_exponent,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "scale": self.scale,
+            "seed": self.seed,
+            "profile": self.profile,
+        }
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress/bench output."""
+        if self.kind == KIND_BASELINE:
+            return f"{self.trace}/always-on@{self.scale:g}"
+        return (
+            f"{self.trace}/rf{self.replication_factor}/{self.scheduler_key}"
+            f"@{self.scale:g}"
+        )
+
+
+def cell_spec(
+    trace: str,
+    replication_factor: int,
+    scheduler_key: str,
+    *,
+    zipf_exponent: float = 1.0,
+    alpha: float = 0.2,
+    beta: float = 100.0,
+    scale: float,
+    seed: int,
+    profile: str = DEFAULT_PROFILE,
+) -> RunSpec:
+    """One evaluation-matrix cell (simulated or offline-evaluated)."""
+    return RunSpec(
+        kind=KIND_CELL,
+        trace=trace,
+        replication_factor=replication_factor,
+        scheduler_key=scheduler_key,
+        zipf_exponent=zipf_exponent,
+        alpha=alpha,
+        beta=beta,
+        scale=scale,
+        seed=seed,
+        profile=profile,
+    )
+
+
+def baseline_spec(
+    trace: str,
+    *,
+    scale: float,
+    seed: int,
+    profile: str = DEFAULT_PROFILE,
+) -> RunSpec:
+    """The always-on normalisation run for a (trace, scale, seed)."""
+    return RunSpec(
+        kind=KIND_BASELINE,
+        trace=trace,
+        replication_factor=1,
+        scheduler_key=BASELINE_SCHEDULER_KEY,
+        zipf_exponent=1.0,
+        alpha=0.0,
+        beta=0.0,
+        scale=scale,
+        seed=seed,
+        profile=profile,
+    )
+
+
+def baseline_of(spec: RunSpec) -> RunSpec:
+    """The baseline spec a cell's energy is normalised against."""
+    return baseline_spec(
+        spec.trace, scale=spec.scale, seed=spec.seed, profile=spec.profile
+    )

@@ -84,6 +84,8 @@ class SimulationReport:
         requests_offered: Requests fed into the system.
         requests_completed: Requests whose I/O finished before the end.
         cache_hits / cache_misses: Block-cache counters (0 = no cache).
+        events_processed: Simulator events fired during the run (cancelled
+            timers excluded; 0 for analytically-evaluated offline runs).
     """
 
     scheduler_name: str
@@ -95,6 +97,7 @@ class SimulationReport:
     requests_completed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    events_processed: int = 0
 
     @property
     def cache_hit_ratio(self) -> float:

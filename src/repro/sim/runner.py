@@ -106,4 +106,5 @@ def always_on_baseline(
         response_times=report.response_times,
         requests_offered=report.requests_offered,
         requests_completed=report.requests_completed,
+        events_processed=report.events_processed,
     )

@@ -113,6 +113,7 @@ class StorageSystem:
             requests_completed=self._metrics.completed,
             cache_hits=self.cache.hits if self.cache else 0,
             cache_misses=self.cache.misses if self.cache else 0,
+            events_processed=self._engine.events_processed,
         )
 
     # -- internal event handlers ------------------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -10,6 +11,17 @@ from repro.core.problem import SchedulingProblem
 from repro.placement.catalog import PlacementCatalog
 from repro.power.profile import BARRACUDA, PAPER_EVAL, PAPER_UNIT
 from repro.types import Request
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache_dir(tmp_path_factory):
+    """Point the persistent run cache at a session-temporary directory.
+
+    Tests must never read results cached by earlier (possibly different)
+    code, nor litter the user's real ``~/.cache``.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("run-cache"))
+    yield
 
 
 @pytest.fixture

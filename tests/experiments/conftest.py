@@ -1,0 +1,19 @@
+"""Isolation for the experiment tests.
+
+Every test starts with empty in-memory memos, and the persistent run
+cache is re-resolved lazily afterwards (the session-level
+``REPRO_CACHE_DIR`` isolation in the root conftest keeps even that
+out of the user's real cache directory).
+"""
+
+import pytest
+
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def fresh_experiment_memos():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+    common.set_persistent_cache(None)

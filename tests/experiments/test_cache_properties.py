@@ -1,0 +1,197 @@
+"""Property tests for the persistent run cache.
+
+Three families of guarantees:
+
+* **keys** — distinct run specs (any field, including seed and profile)
+  never share a cache key; equal specs always do;
+* **integrity** — truncated or tampered entries are detected, deleted
+  and reported as misses, never returned;
+* **round-trip** — whatever was stored is what is loaded, bit-exactly.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.harness import (
+    RunCache,
+    baseline_spec,
+    cache_salt,
+    cell_spec,
+)
+from repro.experiments.harness.spec import SCHEDULER_KEYS, TRACES
+from repro.power.profile import PROFILES
+
+# abs() folds -0.0 into 0.0: specs compare equal across the two zeros
+# (IEEE ==), so their cache keys must match too.
+_unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(abs)
+_weights = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False).map(abs)
+_scales = st.floats(min_value=0.01, max_value=4.0, allow_nan=False)
+_seeds = st.integers(min_value=0, max_value=2**31)
+_profiles = st.sampled_from(sorted(PROFILES))
+
+_cell_specs = st.builds(
+    cell_spec,
+    st.sampled_from(TRACES),
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(SCHEDULER_KEYS),
+    zipf_exponent=_unit,
+    alpha=_unit,
+    beta=_weights,
+    scale=_scales,
+    seed=_seeds,
+    profile=_profiles,
+)
+_baseline_specs = st.builds(
+    baseline_spec,
+    st.sampled_from(TRACES),
+    scale=_scales,
+    seed=_seeds,
+    profile=_profiles,
+)
+_specs = st.one_of(_cell_specs, _baseline_specs)
+
+# key_for never touches the disk, so one keyless-root instance suffices.
+_KEYER = RunCache(root="unused-cache-root", enabled=False)
+
+_PAYLOAD = {"report": {"version": 1, "total_energy_j": 123.5}, "wall_s": 0.25}
+
+
+class TestCacheKeys:
+    @given(a=_specs, b=_specs)
+    @settings(max_examples=300, deadline=None)
+    def test_key_equality_matches_spec_equality(self, a, b):
+        if a == b:
+            assert _KEYER.key_for(a) == _KEYER.key_for(b)
+        else:
+            assert _KEYER.key_for(a) != _KEYER.key_for(b)
+
+    @given(spec=_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_key_is_stable_across_instances(self, spec):
+        other = RunCache(root="another-root", enabled=True)
+        assert _KEYER.key_for(spec) == other.key_for(spec)
+
+    def test_every_field_feeds_the_key(self):
+        base = cell_spec("cello", 3, "heuristic", scale=0.1, seed=1)
+        variants = [
+            cell_spec("financial", 3, "heuristic", scale=0.1, seed=1),
+            cell_spec("cello", 4, "heuristic", scale=0.1, seed=1),
+            cell_spec("cello", 3, "wsc", scale=0.1, seed=1),
+            cell_spec(
+                "cello", 3, "heuristic", zipf_exponent=0.5, scale=0.1, seed=1
+            ),
+            cell_spec("cello", 3, "heuristic", alpha=0.3, scale=0.1, seed=1),
+            cell_spec("cello", 3, "heuristic", beta=10.0, scale=0.1, seed=1),
+            cell_spec("cello", 3, "heuristic", scale=0.2, seed=1),
+            cell_spec("cello", 3, "heuristic", scale=0.1, seed=2),
+            cell_spec(
+                "cello", 3, "heuristic", scale=0.1, seed=1,
+                profile="paper-unit-model",
+            ),
+            baseline_spec("cello", scale=0.1, seed=1),
+        ]
+        base_key = _KEYER.key_for(base)
+        keys = [_KEYER.key_for(variant) for variant in variants]
+        assert base_key not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_salt_names_code_versions(self):
+        # A release or schema bump must change every key.
+        assert "report-" in cache_salt()
+        assert "cache-" in cache_salt()
+
+
+class TestCacheIntegrity:
+    def _store(self, tmp_path):
+        cache = RunCache(root=tmp_path, enabled=True)
+        spec = cell_spec("cello", 3, "static", scale=0.05, seed=1)
+        cache.store_payload(spec, _PAYLOAD)
+        return cache, spec, cache.entry_path(spec)
+
+    @given(fraction=st.floats(min_value=0.0, max_value=0.95))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_truncated_entry_never_returned(self, tmp_path, fraction):
+        cache, spec, path = self._store(tmp_path)
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[: int(len(raw) * fraction)], encoding="utf-8")
+        assert cache.load_payload(spec) is None
+        assert not path.exists()  # corrupt entries are dropped
+
+    def test_truncation_counts_as_corrupt_miss(self, tmp_path):
+        cache, spec, path = self._store(tmp_path)
+        path.write_text("{\"format\":", encoding="utf-8")
+        assert cache.load_payload(spec) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_tampered_payload_detected_by_digest(self, tmp_path):
+        cache, spec, path = self._store(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["payload"]["report"]["total_energy_j"] = 1.0
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load_payload(spec) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_recompute_after_corruption_stores_cleanly(self, tmp_path):
+        cache, spec, path = self._store(tmp_path)
+        path.write_text("not json", encoding="utf-8")
+        assert cache.load_payload(spec) is None
+        cache.store_payload(spec, _PAYLOAD)
+        assert cache.load_payload(spec) == _PAYLOAD
+
+    def test_wrong_key_in_entry_rejected(self, tmp_path):
+        cache, spec, path = self._store(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["key"] = "0" * 64
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load_payload(spec) is None
+
+
+class TestCacheRoundTrip:
+    @given(
+        energy=st.floats(allow_nan=False, allow_infinity=False),
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=8,
+        ),
+    )
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_store_then_load_is_identity(self, tmp_path, energy, times):
+        cache = RunCache(root=tmp_path, enabled=True)
+        spec = cell_spec("cello", 2, "random", scale=0.05, seed=3)
+        payload = {
+            "report": {"total_energy_j": energy, "response_times_s": times},
+            "wall_s": 0.0,
+        }
+        cache.store_payload(spec, payload)
+        assert cache.load_payload(spec) == payload
+
+    def test_hit_and_miss_stats(self, tmp_path):
+        cache = RunCache(root=tmp_path, enabled=True)
+        spec = cell_spec("cello", 2, "random", scale=0.05, seed=3)
+        assert cache.load_payload(spec) is None
+        cache.store_payload(spec, _PAYLOAD)
+        assert cache.load_payload(spec) == _PAYLOAD
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        cache = RunCache(root=tmp_path, enabled=False)
+        spec = cell_spec("cello", 2, "random", scale=0.05, seed=3)
+        cache.store_payload(spec, _PAYLOAD)
+        assert cache.load_payload(spec) is None
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,105 @@
+"""Determinism/equivalence tier: same spec => byte-identical reports.
+
+Three equivalences, each proven on canonical report JSON (sorted keys,
+compact separators — see ``repro.experiments.harness.serialize``):
+
+* two fresh serial runs of the same spec;
+* a serial sweep vs a 2-worker process-pool sweep;
+* a fresh compute vs a persistent-cache hit (across cache reopen).
+"""
+
+import pickle
+
+from repro.experiments.harness import (
+    RunCache,
+    SweepRunner,
+    baseline_spec,
+    canonical_json,
+    canonical_report_json,
+    cell_spec,
+    clear_memos,
+    execute_spec,
+    report_from_payload,
+)
+
+SCALE = 0.05
+SEED = 1
+
+
+def _specs():
+    specs = [
+        cell_spec("cello", 3, key, scale=SCALE, seed=SEED)
+        for key in ("random", "static", "heuristic", "wsc")
+    ]
+    specs.append(baseline_spec("cello", scale=SCALE, seed=SEED))
+    return specs
+
+
+def _report_bytes(payload):
+    return canonical_json(payload["report"])
+
+
+class TestSerialDeterminism:
+    def test_two_fresh_serial_runs_byte_identical(self):
+        spec = cell_spec("cello", 3, "heuristic", scale=SCALE, seed=SEED)
+        first = execute_spec(spec)
+        clear_memos()
+        second = execute_spec(spec)
+        assert _report_bytes(first) == _report_bytes(second)
+
+    def test_mwis_offline_run_deterministic(self):
+        spec = cell_spec("cello", 2, "mwis", scale=SCALE, seed=SEED)
+        first = execute_spec(spec)
+        clear_memos()
+        second = execute_spec(spec)
+        assert _report_bytes(first) == _report_bytes(second)
+
+    def test_different_seeds_differ(self):
+        spec_a = cell_spec("cello", 3, "heuristic", scale=SCALE, seed=1)
+        spec_b = cell_spec("cello", 3, "heuristic", scale=SCALE, seed=2)
+        assert _report_bytes(execute_spec(spec_a)) != _report_bytes(
+            execute_spec(spec_b)
+        )
+
+
+class TestPoolEquivalence:
+    def test_serial_vs_process_pool_byte_identical(self):
+        specs = _specs()
+        serial = SweepRunner(cache=None, jobs=1).run(specs)
+        clear_memos()
+        parallel = SweepRunner(cache=None, jobs=2).run(specs)
+        for spec in specs:
+            assert _report_bytes(serial.payloads[spec]) == _report_bytes(
+                parallel.payloads[spec]
+            ), spec.label()
+
+
+class TestCacheEquivalence:
+    def test_fresh_vs_cache_hit_byte_identical(self, tmp_path):
+        specs = _specs()
+        cache = RunCache(root=tmp_path, enabled=True)
+        fresh = SweepRunner(cache=cache, jobs=1).run(specs)
+        assert fresh.cache_hits == 0
+        assert fresh.cache_misses == len(specs)
+
+        reopened = RunCache(root=tmp_path, enabled=True)
+        cached = SweepRunner(cache=reopened, jobs=1).run(specs)
+        assert cached.cache_hits == len(specs)
+        assert cached.cache_misses == 0
+        assert all(point.cached for point in cached.points)
+        for spec in specs:
+            assert _report_bytes(fresh.payloads[spec]) == _report_bytes(
+                cached.payloads[spec]
+            ), spec.label()
+
+    def test_payload_roundtrip_preserves_canonical_bytes(self):
+        spec = cell_spec("cello", 1, "static", scale=SCALE, seed=SEED)
+        payload = execute_spec(spec)
+        report = report_from_payload(payload["report"])
+        assert canonical_report_json(report) == _report_bytes(payload)
+
+    def test_spec_pickles_and_hashes(self):
+        spec = cell_spec("cello", 3, "wsc", scale=SCALE, seed=SEED)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)

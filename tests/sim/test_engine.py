@@ -141,6 +141,25 @@ def test_events_processed_counter():
     assert engine.events_processed == 5
 
 
+def test_events_processed_excludes_cancelled():
+    engine = SimulationEngine()
+    engine.schedule(1.0, lambda: None)
+    cancelled = engine.schedule(2.0, lambda: None)
+    engine.schedule(3.0, lambda: None)
+    cancelled.cancel()
+    engine.run()
+    assert engine.events_processed == 2
+
+
+def test_events_processed_excludes_timer_cancelled_mid_run():
+    """A timer cancelled by an earlier event never counts as processed."""
+    engine = SimulationEngine()
+    late = engine.schedule(5.0, lambda: None)
+    engine.schedule(1.0, lambda: late.cancel())
+    engine.run()
+    assert engine.events_processed == 1
+
+
 def test_run_not_reentrant():
     engine = SimulationEngine()
     error = []

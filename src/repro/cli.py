@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--zipf", type=float, default=1.0)
     simulate.add_argument("--alpha", type=float, default=0.2)
     simulate.add_argument("--beta", type=float, default=100.0)
+    simulate.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-disk permanent failures per simulated second "
+        "(0 disables fault injection)",
+    )
 
     compare = sub.add_parser("compare", help="compare all schedulers")
     compare.add_argument(
@@ -84,8 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench_id",
         nargs="?",
         default=None,
-        help="a figure id (fig5..fig17), 'headline', an ablation_* id, "
-        "'all', or 'list' (omit with --validate)",
+        help="a figure id (fig5..fig17), 'headline', 'fault_sweep', an "
+        "ablation_* id, 'all', or 'list' (omit with --validate)",
     )
     bench.add_argument("--scale", type=float, default=None)
     bench.add_argument("--mwis-scale", type=float, default=None)
@@ -215,6 +222,7 @@ def _run_simulate(args: argparse.Namespace) -> None:
         zipf_exponent=args.zipf,
         alpha=args.alpha,
         beta=args.beta,
+        fault_rate=args.fault_rate,
     )
     print(result.report.summary())
     print(f"normalized energy    : {result.normalized_energy:.3f} (vs always-on)")

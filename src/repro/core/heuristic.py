@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core.cost import PAPER_COST_FUNCTION, CostFunction
 from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
+from repro.errors import ReplicaUnavailableError
 from repro.types import DiskId, Request
 
 
@@ -34,7 +35,11 @@ class HeuristicScheduler(OnlineScheduler):
         self.cost_function = cost_function or PAPER_COST_FUNCTION
 
     def choose(self, request: Request, view: SystemView) -> DiskId:
-        locations = view.locations(request.data_id)
+        locations = view.available_locations(request.data_id)
+        if not locations:
+            raise ReplicaUnavailableError(
+                f"no live replica for data {request.data_id}"
+            )
         best_disk = locations[0]
         best_key = None
         for disk_id in locations:

@@ -11,18 +11,25 @@ from __future__ import annotations
 import random
 
 from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
+from repro.errors import ReplicaUnavailableError
 from repro.types import DiskId, Request
 
 
 class RandomScheduler(OnlineScheduler):
-    """Uniform choice over replica locations, seeded for determinism."""
+    """Uniform choice over *live* replica locations, seeded for
+    determinism; identical draws to the pre-fault code when no fault
+    injection is active."""
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
 
     def choose(self, request: Request, view: SystemView) -> DiskId:
-        locations = view.locations(request.data_id)
-        return self._rng.choice(locations)
+        available = view.available_locations(request.data_id)
+        if not available:
+            raise ReplicaUnavailableError(
+                f"no live replica for data {request.data_id}"
+            )
+        return self._rng.choice(available)
 
     @property
     def name(self) -> str:

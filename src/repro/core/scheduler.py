@@ -42,6 +42,11 @@ class SystemView(Protocol):
 
     def locations(self, data_id: DataId) -> Tuple[DiskId, ...]: ...
 
+    def available_locations(self, data_id: DataId) -> Tuple[DiskId, ...]:
+        """The subset of :meth:`locations` currently able to service
+        requests; equal to it when no fault injection is active."""
+        ...
+
 
 class Scheduler(ABC):
     """Common base: every scheduler has a report-friendly name."""

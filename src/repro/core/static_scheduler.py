@@ -9,14 +9,25 @@ counts to Static for exactly that reason.
 from __future__ import annotations
 
 from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
+from repro.errors import ReplicaUnavailableError
 from repro.types import DiskId, Request
 
 
 class StaticScheduler(OnlineScheduler):
-    """Route every request to its original (first) location."""
+    """Route every request to its original (first) *live* location.
+
+    Under fault injection the original location may be dead; Static then
+    falls back to the first surviving replica in placement order — the
+    minimal deviation that keeps the baseline meaningful.
+    """
 
     def choose(self, request: Request, view: SystemView) -> DiskId:
-        return view.locations(request.data_id)[0]
+        available = view.available_locations(request.data_id)
+        if not available:
+            raise ReplicaUnavailableError(
+                f"no live replica for data {request.data_id}"
+            )
+        return available[0]
 
     @property
     def name(self) -> str:

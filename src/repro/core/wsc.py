@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.algorithms.set_cover import SetCoverInstance, greedy_weighted_set_cover
 from repro.core.cost import PAPER_COST_FUNCTION, CostFunction, energy_cost
 from repro.core.scheduler import BatchScheduler, SystemView, register_scheduler
-from repro.errors import SchedulingError
+from repro.errors import ReplicaUnavailableError, SchedulingError
 from repro.types import DiskId, Request, RequestId
 
 #: Scheduling interval used throughout the paper's evaluation.
@@ -53,7 +53,12 @@ class WSCBatchScheduler(BatchScheduler):
             return {}
         coverage: Dict[DiskId, List[RequestId]] = {}
         for request in requests:
-            for disk_id in view.locations(request.data_id):
+            available = view.available_locations(request.data_id)
+            if not available:
+                raise ReplicaUnavailableError(
+                    f"no live replica for data {request.data_id} in batch"
+                )
+            for disk_id in available:
                 coverage.setdefault(disk_id, []).append(request.request_id)
         weights = {
             disk_id: self._disk_weight(disk_id, view) for disk_id in coverage
@@ -72,7 +77,7 @@ class WSCBatchScheduler(BatchScheduler):
         for request in requests:
             candidates = [
                 disk_id
-                for disk_id in view.locations(request.data_id)
+                for disk_id in view.available_locations(request.data_id)
                 if disk_id in chosen_set
             ]
             if not candidates:

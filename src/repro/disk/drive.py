@@ -23,20 +23,23 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.disk.service import ConstantServiceModel, ServiceTimeModel
 from repro.disk.stats import DiskStats
-from repro.errors import SimulationError
+from repro.errors import ReplicaUnavailableError, SimulationError
+from repro.faults.health import DiskHealth
 from repro.power.policy import PowerPolicy, TwoCompetitivePolicy
 from repro.power.profile import DiskPowerProfile
 from repro.power.states import DiskPowerState
 from repro.types import DiskId, Request
 
 if TYPE_CHECKING:  # used only in annotations; avoids a package import cycle
-    from repro.sim.engine import EventHandle, SimulationEngine
+    from repro.faults.plan import SpinUpFaults
+    from repro.sim.engine import EventCallback, EventHandle, SimulationEngine
 
 CompletionCallback = Callable[[Request, DiskId, float], None]
+FaultDeathCallback = Callable[[DiskId, List[Request]], None]
 
 
 class SimulatedDisk:
@@ -75,6 +78,15 @@ class SimulatedDisk:
         self._idle_timer: Optional[EventHandle] = None
         #: ``Tlast`` of Eq. 5 — when this disk last *received* a request.
         self.last_request_time: Optional[float] = None
+        # Fault-injection hooks; inert until enable_fault_injection().
+        self._health = DiskHealth.HEALTHY
+        self._fault_capable = False
+        self._fault_epoch = 0
+        self._spin_up_faults: Optional[SpinUpFaults] = None
+        self._spin_up_rng: Optional[random.Random] = None
+        self._spin_up_streak = 0
+        self._on_spin_up_failure: Optional[Callable[[DiskId], None]] = None
+        self._on_fault_death: Optional[FaultDeathCallback] = None
         if initial_state is DiskPowerState.IDLE:
             self._arm_idle_timer()
 
@@ -91,8 +103,29 @@ class SimulatedDisk:
         """``P(dk)`` of Eq. 7: queued requests plus the one in service."""
         return len(self._queue) + (1 if self._in_service is not None else 0)
 
+    @property
+    def health(self) -> DiskHealth:
+        """Availability of this disk, orthogonal to its power state."""
+        return self._health
+
+    @property
+    def is_available(self) -> bool:
+        """True when this disk can accept and service requests."""
+        return self._health.is_available
+
     def submit(self, request: Request) -> None:
-        """Accept a request at the current simulated time."""
+        """Accept a request at the current simulated time.
+
+        Raises:
+            ReplicaUnavailableError: when the disk is down or failed; the
+                storage layer pre-filters such disks, so this is a
+                defensive guard against direct misuse.
+        """
+        if self._health is not DiskHealth.HEALTHY:
+            raise ReplicaUnavailableError(
+                f"disk {self.disk_id} is {self._health.value}; cannot accept "
+                f"request {request.request_id}"
+            )
         now = self._engine.now
         self.last_request_time = now
         self._queue.append(request)
@@ -110,6 +143,89 @@ class SimulatedDisk:
         self.stats.finalize(self._engine.now)
 
     # ------------------------------------------------------------------
+    # fault injection (driven by repro.faults.injector.FaultInjector)
+    # ------------------------------------------------------------------
+
+    def enable_fault_injection(
+        self,
+        spin_up: Optional[SpinUpFaults] = None,
+        spin_up_rng: Optional[random.Random] = None,
+        on_spin_up_failure: Optional[Callable[[DiskId], None]] = None,
+        on_fault_death: Optional[FaultDeathCallback] = None,
+    ) -> None:
+        """Arm this disk for fault injection.
+
+        Turns on the epoch guard that invalidates in-flight timer events
+        across a crash-stop, and (optionally) the probabilistic spin-up
+        failure model.  Never called on no-fault runs, so their hot path
+        stays exactly as before.
+        """
+        if spin_up is not None and spin_up_rng is None:
+            raise SimulationError(
+                f"disk {self.disk_id}: spin-up faults need a dedicated RNG"
+            )
+        self._fault_capable = True
+        self._spin_up_faults = spin_up
+        self._spin_up_rng = spin_up_rng
+        self._on_spin_up_failure = on_spin_up_failure
+        self._on_fault_death = on_fault_death
+
+    def fail(self, permanent: bool) -> List[Request]:
+        """Crash-stop this disk; returns every request drained from it.
+
+        The in-service request (if any) and the whole queue are handed
+        back for the storage layer to fail over.  The power state
+        collapses straight to STANDBY — a crash-stop is not an orderly
+        spin-down, so no spin operation is added to the ledger — and the
+        fault epoch advances, invalidating every already-scheduled
+        service/spin event of this disk.
+        """
+        if self._health is DiskHealth.FAILED:
+            raise SimulationError(f"disk {self.disk_id} failed twice")
+        self._health = DiskHealth.FAILED if permanent else DiskHealth.DOWN
+        self._fault_epoch += 1
+        self._cancel_idle_timer()
+        drained: List[Request] = []
+        if self._in_service is not None:
+            drained.append(self._in_service)
+            self._in_service = None
+        drained.extend(self._queue)
+        self._queue.clear()
+        if self._state is not DiskPowerState.STANDBY:
+            self._transition(DiskPowerState.STANDBY)
+        return drained
+
+    def repair(self) -> None:
+        """End a transient outage; the disk returns spun-down and empty."""
+        if self._health is not DiskHealth.DOWN:
+            raise SimulationError(
+                f"repair of disk {self.disk_id} in health {self._health.value}"
+            )
+        self._health = DiskHealth.HEALTHY
+        self._spin_up_streak = 0
+        self._fault_epoch += 1
+
+    def _schedule_after(self, delay: float, callback: "EventCallback") -> None:
+        """Engine scheduling with a fault-epoch guard.
+
+        On fault-capable disks the callback is dropped if the disk
+        crash-stopped (or was repaired) between scheduling and firing —
+        a service completion from before a failure must not corrupt the
+        post-repair state machine.  No-fault runs take the direct path
+        and allocate nothing.
+        """
+        if not self._fault_capable:
+            self._engine.schedule_after(delay, callback)
+            return
+        epoch = self._fault_epoch
+
+        def guarded() -> None:
+            if self._fault_epoch == epoch:
+                callback()
+
+        self._engine.schedule_after(delay, guarded)
+
+    # ------------------------------------------------------------------
     # state machine internals
     # ------------------------------------------------------------------
 
@@ -120,7 +236,7 @@ class SimulatedDisk:
     def _start_spin_up(self) -> None:
         self._transition(DiskPowerState.SPIN_UP)
         if self.profile.spin_up_time > 0:
-            self._engine.schedule_after(
+            self._schedule_after(
                 self.profile.spin_up_time, self._on_spin_up_complete
             )
         else:
@@ -132,11 +248,31 @@ class SimulatedDisk:
                 f"spin-up completion in state {self._state.value} on disk "
                 f"{self.disk_id}"
             )
+        faults = self._spin_up_faults
+        rng = self._spin_up_rng
+        if faults is not None and rng is not None and faults.probability > 0:
+            if rng.random() < faults.probability:
+                self._spin_up_failed(faults)
+                return
+            self._spin_up_streak = 0
         self._transition(DiskPowerState.IDLE)
         if self._queue:
             self._start_service()
         else:
             self._arm_idle_timer()
+
+    def _spin_up_failed(self, faults: SpinUpFaults) -> None:
+        """One spin-up attempt failed: retry, or brick the disk."""
+        self._spin_up_streak += 1
+        if self._on_spin_up_failure is not None:
+            self._on_spin_up_failure(self.disk_id)
+        if self._spin_up_streak > faults.max_retries:
+            drained = self.fail(permanent=True)
+            if self._on_fault_death is not None:
+                self._on_fault_death(self.disk_id, drained)
+            return
+        self._transition(DiskPowerState.STANDBY)
+        self._start_spin_up()
 
     def _start_service(self) -> None:
         if self._in_service is not None:
@@ -157,7 +293,7 @@ class SimulatedDisk:
             if duration < 0:
                 raise SimulationError("service model returned negative duration")
             if duration > 0:
-                self._engine.schedule_after(duration, self._on_service_complete)
+                self._schedule_after(duration, self._on_service_complete)
                 return
             self._complete_current()
             if not self._queue:
@@ -204,7 +340,7 @@ class SimulatedDisk:
     def _start_spin_down(self) -> None:
         self._transition(DiskPowerState.SPIN_DOWN)
         if self.profile.spin_down_time > 0:
-            self._engine.schedule_after(
+            self._schedule_after(
                 self.profile.spin_down_time, self._on_spin_down_complete
             )
         else:

@@ -28,5 +28,26 @@ class SimulationError(ReproError):
     """The simulation engine was driven into an inconsistent state."""
 
 
+class ReplicaUnavailableError(ReproError):
+    """An operation targeted a replica that is not currently servable.
+
+    Raised when a request is submitted to a disk whose health is degraded
+    (transiently down or permanently failed), or when a scheduler is asked
+    to place a request none of whose replicas are live.  Inside the
+    simulated storage system this situation is handled — requests are
+    retried against surviving replicas or recorded as lost — so the
+    exception surfaces only from direct library use.
+    """
+
+
+class DataLossError(ReproError):
+    """Data became permanently unreachable: every replica is dead.
+
+    The simulation never raises this during a run (unreachable requests
+    are *counted* as lost, not crashed on); it exists for strict callers
+    that ask the fault subsystem to verify that data survived a run.
+    """
+
+
 class TraceFormatError(ReproError):
     """A trace file could not be parsed in the declared format."""

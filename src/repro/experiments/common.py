@@ -222,12 +222,16 @@ def run_cell(
     beta: float = 100.0,
     scale: Optional[float] = None,
     seed: Optional[int] = None,
+    fault_rate: float = 0.0,
 ) -> RunResult:
     """Run (or fetch from cache) one cell of the evaluation matrix.
 
     MWIS cells run at ``MWIS_SCALE`` with their own always-on baseline,
     so their *normalised* energies remain comparable with the simulated
-    cells.
+    cells.  ``fault_rate`` (per-disk permanent failures per simulated
+    second) > 0 turns on fault injection for the cell; its baseline
+    stays fault-free so normalised energy remains a fraction of the
+    healthy always-on fleet.
     """
     if scale is None:
         scale = MWIS_SCALE if scheduler_key == "mwis" else SCALE
@@ -242,6 +246,7 @@ def run_cell(
         beta=beta,
         scale=scale,
         seed=seed,
+        fault_rate=fault_rate,
     )
     memo = _run_cache.get(spec)
     if memo is not None:

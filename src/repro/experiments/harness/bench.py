@@ -44,6 +44,13 @@ from repro.experiments.figures import (
     Z_GRID,
     BreakdownResult,
 )
+from repro.experiments.fault_sweep import (
+    FAULT_RATES_PER_S,
+    SWEEP_REPLICATION,
+    SWEEP_SCHEDULERS,
+    SWEEP_TRACE,
+    run_fault_sweep,
+)
 from repro.experiments.harness.cache import RunCache
 from repro.experiments.harness.runner import SweepOutcome, SweepRunner
 from repro.experiments.harness.schema import BENCH_SCHEMA, validate_bench_payload
@@ -278,6 +285,28 @@ def _ablation_result(ablation_id: str) -> _ResultFn:
     return build
 
 
+def _fault_sweep_specs(scale: float, mwis_scale: float, seed: int) -> List[RunSpec]:
+    return _with_baselines(
+        [
+            cell_spec(
+                SWEEP_TRACE,
+                SWEEP_REPLICATION,
+                key,
+                scale=scale,
+                seed=seed,
+                fault_rate=rate,
+            )
+            for key in SWEEP_SCHEDULERS
+            for rate in FAULT_RATES_PER_S
+        ]
+    )
+
+
+def _fault_sweep_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
+    # Cell events are already counted by the sweep points; report 0 extra.
+    return _ablation_result_payload(run_fault_sweep(scale)), 0
+
+
 def _build_registry() -> Dict[str, BenchDefinition]:
     registry: Dict[str, BenchDefinition] = {}
 
@@ -338,6 +367,12 @@ def _build_registry() -> Dict[str, BenchDefinition]:
     add(
         "headline", "the abstract's claims (cello)",
         _headline_specs("cello"), _headline_result("cello"),
+    )
+    add(
+        "fault_sweep",
+        "availability vs failure rate (cello, rf=3)",
+        _fault_sweep_specs,
+        _fault_sweep_result,
     )
     for ablation_id in ABLATIONS:
         add(

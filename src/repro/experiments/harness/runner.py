@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core import (
@@ -30,6 +30,7 @@ from repro.core import (
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
 from repro.experiments.harness.cache import RunCache
+from repro.faults.plan import FaultPlan
 from repro.experiments.harness.serialize import report_to_payload
 from repro.experiments.harness.spec import KIND_BASELINE, RunSpec
 from repro.placement.catalog import PlacementCatalog
@@ -149,6 +150,14 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
         spec.seed,
     )
     config = make_config(disks, spec.profile, spec.seed)
+    if spec.fault_rate > 0:
+        # The plan seed derives from the run seed so replication seeds get
+        # independent failure schedules, while staying identical across
+        # serial, pooled and cache-replayed executions of one spec.
+        config = replace(
+            config,
+            fault_plan=FaultPlan.canonical(spec.fault_rate, seed=spec.seed),
+        )
     if spec.kind == KIND_BASELINE:
         report = always_on_baseline(requests, catalog, config)
     elif spec.scheduler_key == "mwis":

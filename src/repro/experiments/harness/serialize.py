@@ -20,7 +20,7 @@ from repro.disk.stats import DiskStats
 from repro.errors import ConfigurationError
 from repro.power.profile import DiskPowerProfile
 from repro.power.states import DiskPowerState
-from repro.report import SimulationReport
+from repro.report import AvailabilityReport, SimulationReport
 
 #: Bump when the report payload layout changes (invalidates the cache
 #: through the key salt).
@@ -102,17 +102,51 @@ def _stats_from_payload(
     return stats
 
 
+def _availability_to_payload(availability: AvailabilityReport) -> Dict[str, Any]:
+    return {
+        "requests_lost": availability.requests_lost,
+        "requests_redispatched": availability.requests_redispatched,
+        "failover_retries": availability.failover_retries,
+        "spin_up_failures": availability.spin_up_failures,
+        "disk_failures": availability.disk_failures,
+        "transient_outages": availability.transient_outages,
+        "downtime_s": {
+            str(disk_id): seconds
+            for disk_id, seconds in availability.downtime_s.items()
+        },
+        "disk_seconds": availability.disk_seconds,
+    }
+
+
+def _availability_from_payload(payload: Dict[str, Any]) -> AvailabilityReport:
+    return AvailabilityReport(
+        requests_lost=payload["requests_lost"],
+        requests_redispatched=payload["requests_redispatched"],
+        failover_retries=payload["failover_retries"],
+        spin_up_failures=payload["spin_up_failures"],
+        disk_failures=payload["disk_failures"],
+        transient_outages=payload["transient_outages"],
+        downtime_s={
+            int(disk_id): seconds
+            for disk_id, seconds in payload["downtime_s"].items()
+        },
+        disk_seconds=payload["disk_seconds"],
+    )
+
+
 def report_to_payload(report: SimulationReport) -> Dict[str, Any]:
     """A report as a JSON-able dict, exact to the last bit.
 
     ``disk_stats`` keys become strings (JSON object keys); the shared
-    power profile is stored once at the top level.
+    power profile is stored once at the top level.  The ``availability``
+    key is additive: it appears only for fault-injected runs, keeping
+    no-fault payloads byte-identical to schema version 1 output.
     """
     profile: Optional[DiskPowerProfile] = None
     for stats in report.disk_stats.values():
         profile = stats.profile
         break
-    return {
+    payload: Dict[str, Any] = {
         "version": REPORT_SCHEMA_VERSION,
         "scheduler_name": report.scheduler_name,
         "duration_s": report.duration,
@@ -129,6 +163,9 @@ def report_to_payload(report: SimulationReport) -> Dict[str, Any]:
         },
         "response_times_s": list(report.response_times),
     }
+    if report.availability is not None:
+        payload["availability"] = _availability_to_payload(report.availability)
+    return payload
 
 
 def report_from_payload(payload: Dict[str, Any]) -> SimulationReport:
@@ -160,6 +197,11 @@ def report_from_payload(payload: Dict[str, Any]) -> SimulationReport:
         cache_hits=payload["cache_hits"],
         cache_misses=payload["cache_misses"],
         events_processed=payload["events_processed"],
+        availability=(
+            _availability_from_payload(payload["availability"])
+            if "availability" in payload
+            else None
+        ),
     )
 
 

@@ -53,6 +53,9 @@ class RunSpec:
         seed: Base RNG seed; workload, placement and service-time draws
             all derive from it.
         profile: Power-profile name (resolved via ``repro.power.profile``).
+        fault_rate: Per-disk permanent failures per simulated second
+            (``FaultPlan.canonical``); 0.0 — the default everywhere but
+            the fault sweep — runs the exact pre-fault code path.
     """
 
     kind: str
@@ -65,6 +68,7 @@ class RunSpec:
     scale: float
     seed: int
     profile: str
+    fault_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_CELL, KIND_BASELINE):
@@ -83,6 +87,16 @@ class RunSpec:
             raise ConfigurationError("replication_factor must be >= 1")
         if self.scale <= 0:
             raise ConfigurationError("scale must be > 0")
+        if self.fault_rate < 0:
+            raise ConfigurationError("fault_rate must be >= 0")
+        if self.fault_rate > 0 and self.kind == KIND_BASELINE:
+            raise ConfigurationError(
+                "baseline (always-on) specs must stay fault-free"
+            )
+        if self.fault_rate > 0 and self.scheduler_key == "mwis":
+            raise ConfigurationError(
+                "offline mwis schedules cannot be fault-injected"
+            )
 
     def key_payload(self) -> Dict[str, Any]:
         """The spec as a plain dict — the canonical cache-key material."""
@@ -97,16 +111,20 @@ class RunSpec:
             "scale": self.scale,
             "seed": self.seed,
             "profile": self.profile,
+            "fault_rate": self.fault_rate,
         }
 
     def label(self) -> str:
         """Short human-readable identifier for progress/bench output."""
         if self.kind == KIND_BASELINE:
             return f"{self.trace}/always-on@{self.scale:g}"
-        return (
+        label = (
             f"{self.trace}/rf{self.replication_factor}/{self.scheduler_key}"
             f"@{self.scale:g}"
         )
+        if self.fault_rate > 0:
+            label += f"/f{self.fault_rate:g}"
+        return label
 
 
 def cell_spec(
@@ -120,8 +138,13 @@ def cell_spec(
     scale: float,
     seed: int,
     profile: str = DEFAULT_PROFILE,
+    fault_rate: float = 0.0,
 ) -> RunSpec:
-    """One evaluation-matrix cell (simulated or offline-evaluated)."""
+    """One evaluation-matrix cell (simulated or offline-evaluated).
+
+    ``fault_rate`` is in per-disk permanent failures per simulated
+    second; the default 0.0 disables fault injection entirely.
+    """
     return RunSpec(
         kind=KIND_CELL,
         trace=trace,
@@ -133,6 +156,7 @@ def cell_spec(
         scale=scale,
         seed=seed,
         profile=profile,
+        fault_rate=fault_rate,
     )
 
 

@@ -22,11 +22,12 @@ from repro.types import DiskId, Request, RequestId
 
 
 class MetricsCollector:
-    """Accumulates per-request completions during a simulation."""
+    """Accumulates per-request completions (and losses) during a simulation."""
 
     def __init__(self) -> None:
         self._response_times: List[float] = []
         self._completions: Dict[RequestId, Tuple[DiskId, float]] = {}
+        self._lost: List[RequestId] = []
 
     def on_complete(self, request: Request, disk_id: DiskId, now: float) -> None:
         """Record one completion (response time = now - arrival)."""
@@ -46,6 +47,24 @@ class MetricsCollector:
     @property
     def completed(self) -> int:
         return len(self._response_times)
+
+    def on_lost(self, request: Request, now: float) -> None:
+        """Record a request whose every replica is dead (never raised)."""
+        if now < request.time:
+            raise SimulationError(
+                f"request {request.request_id} lost before it arrived"
+            )
+        self._lost.append(request.request_id)
+
+    @property
+    def lost(self) -> int:
+        """Requests recorded as lost (no surviving replica)."""
+        return len(self._lost)
+
+    @property
+    def lost_request_ids(self) -> List[RequestId]:
+        """Ids of the lost requests, in loss order."""
+        return list(self._lost)
 
     def completion_of(self, request_id: RequestId) -> Tuple[DiskId, float]:
         """(disk, completion time) of a finished request."""
@@ -72,6 +91,57 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
 
 
 @dataclass(frozen=True)
+class AvailabilityReport:
+    """Availability outcome of one fault-injected run.
+
+    Present on a :class:`SimulationReport` only when a fault plan was
+    active — runs without fault injection carry ``None`` so their
+    serialised form is byte-identical to the pre-fault code.
+
+    Attributes:
+        requests_lost: Requests dropped because no replica survived.
+        requests_redispatched: Requests re-routed to a surviving replica
+            after their disk failed mid-flight.
+        failover_retries: Backoff re-admissions of requests that found
+            every replica transiently unavailable.
+        spin_up_failures: Failed spin-up attempts across all disks.
+        disk_failures: Disks that died permanently during the run.
+        transient_outages: Transient outages that started during the run.
+        downtime_s: Per-disk unavailable seconds (only disks with
+            nonzero downtime appear).
+        disk_seconds: Total disk-seconds of the run (disks × duration) —
+            the denominator of :attr:`availability`.
+    """
+
+    requests_lost: int = 0
+    requests_redispatched: int = 0
+    failover_retries: int = 0
+    spin_up_failures: int = 0
+    disk_failures: int = 0
+    transient_outages: int = 0
+    downtime_s: Mapping[DiskId, float] = field(default_factory=dict)
+    disk_seconds: float = 0.0
+
+    @property
+    def total_downtime_s(self) -> float:
+        """Unavailable disk-seconds summed over all disks."""
+        return sum(self.downtime_s.values())
+
+    @property
+    def availability(self) -> float:
+        """Fraction of disk-seconds the fleet was available, in [0, 1]."""
+        if self.disk_seconds <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.total_downtime_s / self.disk_seconds)
+
+    def loss_fraction(self, requests_offered: int) -> float:
+        """Lost requests as a fraction of the offered load."""
+        if requests_offered <= 0:
+            return 0.0
+        return self.requests_lost / requests_offered
+
+
+@dataclass(frozen=True)
 class SimulationReport:
     """Immutable results of one simulation run.
 
@@ -86,6 +156,8 @@ class SimulationReport:
         cache_hits / cache_misses: Block-cache counters (0 = no cache).
         events_processed: Simulator events fired during the run (cancelled
             timers excluded; 0 for analytically-evaluated offline runs).
+        availability: Fault/availability outcome; ``None`` unless the run
+            had an active fault plan.
     """
 
     scheduler_name: str
@@ -98,6 +170,7 @@ class SimulationReport:
     cache_hits: int = 0
     cache_misses: int = 0
     events_processed: int = 0
+    availability: Optional[AvailabilityReport] = None
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -180,5 +253,16 @@ class SimulationReport:
             lines.append(
                 f"mean / p90 response  : {self.mean_response_time * 1e3:.1f} ms / "
                 f"{self.response_percentile(0.9) * 1e3:.1f} ms"
+            )
+        if self.availability is not None:
+            avail = self.availability
+            lines.append(
+                f"availability         : {avail.availability:.4f} "
+                f"({avail.disk_failures} disks died, "
+                f"{avail.transient_outages} outages)"
+            )
+            lines.append(
+                f"lost / redispatched  : {avail.requests_lost} / "
+                f"{avail.requests_redispatched}"
             )
         return "\n".join(lines)

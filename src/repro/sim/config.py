@@ -8,6 +8,7 @@ from typing import Callable, Optional
 from repro.cache.policy import BlockCache
 from repro.disk.service import AnalyticServiceModel, ServiceTimeModel
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.power.policy import PowerPolicy, TwoCompetitivePolicy
 from repro.power.profile import BARRACUDA, DiskPowerProfile
 from repro.power.states import DiskPowerState
@@ -41,6 +42,10 @@ class SimulationConfig:
         record_transitions: Keep per-disk ``(time, state)`` transition
             logs (memory-proportional to spin activity) for the
             state-period analyses.
+        fault_plan: Optional fault-injection plan (see
+            :mod:`repro.faults`). ``None`` — or a plan with no fault
+            source, e.g. ``FaultPlan.none()`` — runs the exact pre-fault
+            code path and produces byte-identical reports.
     """
 
     num_disks: int
@@ -55,6 +60,7 @@ class SimulationConfig:
     cache_factory: Optional[Callable[[], BlockCache]] = None
     cache_hit_time: float = 0.0002
     record_transitions: bool = False
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_disks <= 0:

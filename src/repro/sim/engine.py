@@ -107,7 +107,15 @@ class SimulationEngine:
         time, _seq, handle, callback = heapq.heappop(self._queue)
         self._now = time
         self._events_processed += 1
-        callback()
+        try:
+            callback()
+        except SimulationError:
+            raise  # already carries simulation context; do not double-wrap
+        except Exception as exc:
+            raise SimulationError(
+                f"event callback {callback!r} failed at t={time:.6g}s "
+                f"(event #{self._events_processed}): {exc}"
+            ) from exc
         return True
 
     def run(

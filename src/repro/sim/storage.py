@@ -18,12 +18,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.scheduler import BatchScheduler, OnlineScheduler, Scheduler
 from repro.disk.drive import SimulatedDisk
 from repro.errors import SchedulingError, SimulationError
+from repro.faults.health import DiskHealth
+from repro.faults.injector import FaultInjector
 from repro.placement.catalog import PlacementCatalog
 from repro.power.profile import DiskPowerProfile
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.report import MetricsCollector, SimulationReport
-from repro.types import DataId, DiskId, OpKind, Request
+from repro.types import DataId, DiskId, OpKind, Request, RequestId
+
+#: First failover-retry delay in seconds; doubles on every further attempt.
+RETRY_BASE_S = 0.5
+#: Backoff retries granted to a request whose replicas are all transiently
+#: down before it is declared lost.
+MAX_FAILOVER_ATTEMPTS = 8
 
 
 class StorageSystem:
@@ -64,6 +72,17 @@ class StorageSystem:
         self._offered = 0
         self._ran = False
         self.cache = config.cache_factory() if config.cache_factory else None
+        self._redispatched = 0
+        self._failover_retries = 0
+        self._retry_attempts: Dict[RequestId, int] = {}
+        self._faults: Optional[FaultInjector] = None
+        if config.fault_plan is not None and config.fault_plan.active:
+            self._faults = FaultInjector(
+                plan=config.fault_plan,
+                engine=self._engine,
+                disks=self._disks,
+                on_disk_failed=self._on_disk_failed,
+            )
 
     # -- SystemView protocol -------------------------------------------
 
@@ -87,6 +106,21 @@ class StorageSystem:
         """Placement lookup (SystemView protocol)."""
         return self._catalog.locations(data_id)
 
+    def available_locations(self, data_id: DataId) -> Tuple[DiskId, ...]:
+        """Replicas currently able to service requests (SystemView).
+
+        Identical to :meth:`locations` on no-fault runs; with fault
+        injection active, down and failed disks are filtered out.
+        """
+        locations = self._catalog.locations(data_id)
+        if self._faults is None:
+            return locations
+        return tuple(
+            disk_id
+            for disk_id in locations
+            if self._disks[disk_id].is_available
+        )
+
     # -- driving the run -------------------------------------------------
 
     def run(self, requests: Sequence[Request]) -> SimulationReport:
@@ -100,9 +134,20 @@ class StorageSystem:
             self._engine.schedule(request.time, _Arrival(self, request))
         last_arrival = ordered[-1].time if ordered else 0.0
         horizon = self._config.derived_horizon(last_arrival)
+        if self._faults is not None:
+            self._faults.install(horizon)
         self._engine.run(until=horizon)
         for disk in self._disks.values():
             disk.finalize()
+        availability = None
+        if self._faults is not None:
+            self._faults.close(self._engine.now)
+            availability = self._faults.availability_report(
+                duration_s=self._engine.now,
+                requests_lost=self._metrics.lost,
+                requests_redispatched=self._redispatched,
+                failover_retries=self._failover_retries,
+            )
         return SimulationReport(
             scheduler_name=self._scheduler.name,
             duration=self._engine.now,
@@ -114,6 +159,7 @@ class StorageSystem:
             cache_hits=self.cache.hits if self.cache else 0,
             cache_misses=self.cache.misses if self.cache else 0,
             events_processed=self._engine.events_processed,
+            availability=availability,
         )
 
     # -- internal event handlers ------------------------------------------
@@ -125,6 +171,21 @@ class StorageSystem:
             and self.cache.lookup(request.data_id)
         ):
             self._complete_from_cache(request)
+            return
+        self._admit(request)
+
+    def _admit(self, request: Request) -> None:
+        """Hand a (possibly re-admitted) request to the scheduler.
+
+        Requests none of whose replicas are currently servable never
+        reach the scheduler — they back off and retry, or are recorded
+        as lost. Re-admissions skip the cache on purpose: the arrival
+        already consulted it.
+        """
+        if self._faults is not None and not self.available_locations(
+            request.data_id
+        ):
+            self._defer_or_lose(request)
             return
         if isinstance(self._scheduler, OnlineScheduler):
             disk_id = self._scheduler.choose(request, self)
@@ -150,14 +211,23 @@ class StorageSystem:
             return
         assert isinstance(self._scheduler, BatchScheduler)
         batch, self._batch_buffer = self._batch_buffer, []
+        if self._faults is not None:
+            batch = [
+                request
+                for request in batch
+                if self._servable_or_deferred(request)
+            ]
+            if not batch:
+                return
         decisions = self._scheduler.choose_batch(batch, self)
         for request in batch:
             try:
                 disk_id = decisions[request.request_id]
-            except KeyError:
+            except KeyError as exc:
                 raise SchedulingError(
-                    f"batch scheduler left request {request.request_id} undecided"
-                )
+                    f"batch scheduler left request {request.request_id} "
+                    f"undecided at tick t={self._engine.now:.6g}s"
+                ) from exc
             self._dispatch(request, disk_id)
 
     def _dispatch(self, request: Request, disk_id: DiskId) -> None:
@@ -173,10 +243,63 @@ class StorageSystem:
                 f"which does not hold data {request.data_id}"
             )
         self._disks[disk_id].submit(request)
+        if self._retry_attempts:
+            self._retry_attempts.pop(request.request_id, None)
         if self.cache is not None and request.op is OpKind.READ:
             self.cache.insert(
                 request.data_id, disk_id, lambda d: self._disks[d].state
             )
+
+    # -- failover (fault injection only) ----------------------------------
+
+    def _servable_or_deferred(self, request: Request) -> bool:
+        """True when some replica is live; otherwise defers the request."""
+        if self.available_locations(request.data_id):
+            return True
+        self._defer_or_lose(request)
+        return False
+
+    def _on_disk_failed(self, disk_id: DiskId, drained: List[Request]) -> None:
+        """Injector callback: ``disk_id`` crash-stopped mid-run.
+
+        Requests drained from its queue are re-dispatched to the least
+        loaded surviving replica; placement-driven routing around the
+        dead disk happens separately via :meth:`available_locations`.
+        """
+        del disk_id  # routing consults per-disk health, not the event
+        for request in drained:
+            self._failover(request)
+
+    def _failover(self, request: Request) -> None:
+        candidates = self.available_locations(request.data_id)
+        if not candidates:
+            self._defer_or_lose(request)
+            return
+        best = min(
+            candidates, key=lambda d: (self._disks[d].queue_length, d)
+        )
+        self._redispatched += 1
+        self._dispatch(request, best)
+
+    def _defer_or_lose(self, request: Request) -> None:
+        """Back off and re-admit, or record the request as lost.
+
+        Lost means: every replica is permanently dead, or the retry
+        budget is exhausted while all replicas stay unavailable.
+        """
+        locations = self._catalog.locations(request.data_id)
+        attempts = self._retry_attempts.get(request.request_id, 0)
+        all_dead = all(
+            self._disks[d].health is DiskHealth.FAILED for d in locations
+        )
+        if all_dead or attempts >= MAX_FAILOVER_ATTEMPTS:
+            self._retry_attempts.pop(request.request_id, None)
+            self._metrics.on_lost(request, self._engine.now)
+            return
+        self._retry_attempts[request.request_id] = attempts + 1
+        self._failover_retries += 1
+        delay = RETRY_BASE_S * (2.0**attempts)
+        self._engine.schedule_after(delay, _Readmit(self, request))
 
     def _complete_from_cache(self, request: Request) -> None:
         """Serve a read from the cache: no disk is touched."""
@@ -203,3 +326,16 @@ class _Arrival:
 
     def __call__(self) -> None:
         self._system._on_arrival(self._request)
+
+
+class _Readmit:
+    """Backoff-retry callback re-admitting a deferred request."""
+
+    __slots__ = ("_system", "_request")
+
+    def __init__(self, system: StorageSystem, request: Request):
+        self._system = system
+        self._request = request
+
+    def __call__(self) -> None:
+        self._system._admit(self._request)

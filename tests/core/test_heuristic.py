@@ -30,6 +30,9 @@ class FakeView:
     def locations(self, data_id):
         return self._catalog.locations(data_id)
 
+    def available_locations(self, data_id):
+        return self._catalog.locations(data_id)
+
 
 def req(data_id=0):
     return Request(time=100.0, request_id=0, data_id=data_id)

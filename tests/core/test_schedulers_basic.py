@@ -22,6 +22,9 @@ class FakeView:
     def locations(self, data_id):
         return self._catalog.locations(data_id)
 
+    def available_locations(self, data_id):
+        return self._catalog.locations(data_id)
+
     def disk(self, disk_id):
         raise AssertionError("baselines must not inspect disk state")
 

@@ -36,6 +36,9 @@ class FakeView:
     def locations(self, data_id):
         return self._catalog.locations(data_id)
 
+    def available_locations(self, data_id):
+        return self._catalog.locations(data_id)
+
 
 def write_req(rid=0, data_id=0):
     return Request(time=0.0, request_id=rid, data_id=data_id, op=OpKind.WRITE)

@@ -31,6 +31,9 @@ class FakeView:
     def locations(self, data_id):
         return self._catalog.locations(data_id)
 
+    def available_locations(self, data_id):
+        return self._catalog.locations(data_id)
+
 
 def standby_view(catalog, num_disks, profile=PAPER_UNIT):
     disks = {d: FakeDisk(DiskPowerState.STANDBY) for d in range(num_disks)}

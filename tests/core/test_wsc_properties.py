@@ -38,6 +38,9 @@ class FakeView:
     def locations(self, data_id):
         return self._catalog.locations(data_id)
 
+    def available_locations(self, data_id):
+        return self._catalog.locations(data_id)
+
 
 @st.composite
 def batch_instances(draw):

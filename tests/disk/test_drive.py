@@ -142,6 +142,22 @@ class TestSpinDownRace:
         expected = TUP + TB + TDOWN + TUP
         assert completions[1][1] == pytest.approx(expected)
 
+    def test_arrival_at_spin_down_completion_instant_pays_full_spin_up(self):
+        # Boundary of the non-abortable transition: the arrival lands at
+        # exactly the instant the spin-down completes. Whichever event
+        # fires first at that timestamp, the request must wait the full
+        # spin-up and the ledger must show a second spin-up cycle.
+        engine = SimulationEngine()
+        disk, completions = make_disk(engine)
+        engine.schedule(0.0, lambda: disk.submit(req(0.0, 0)))
+        arrival = TUP + TB + TDOWN  # the spin-down completion instant
+        engine.schedule(arrival, lambda: disk.submit(req(arrival, 1)))
+        engine.run(until=arrival + TUP + 1.0)
+        assert len(completions) == 2
+        assert completions[1][1] == pytest.approx(arrival + TUP)
+        assert disk.stats.spin_ups == 2
+        assert disk.stats.spin_downs == 1
+
     def test_spin_down_completes_before_spin_up_begins(self):
         engine = SimulationEngine()
         disk, _ = make_disk(engine)

@@ -9,6 +9,7 @@ compact separators — see ``repro.experiments.harness.serialize``):
 """
 
 import pickle
+from dataclasses import replace
 
 from repro.experiments.harness import (
     RunCache,
@@ -21,6 +22,13 @@ from repro.experiments.harness import (
     execute_spec,
     report_from_payload,
 )
+from repro.experiments.harness.runner import (
+    get_binding,
+    make_config,
+    make_scheduler,
+)
+from repro.faults import FaultPlan
+from repro.sim import simulate
 
 SCALE = 0.05
 SEED = 1
@@ -31,6 +39,11 @@ def _specs():
         cell_spec("cello", 3, key, scale=SCALE, seed=SEED)
         for key in ("random", "static", "heuristic", "wsc")
     ]
+    # A fault-injected cell rides along so every equivalence below also
+    # covers the failure schedule (same seed + plan => same failures).
+    specs.append(
+        cell_spec("cello", 3, "heuristic", scale=SCALE, seed=SEED, fault_rate=2e-4)
+    )
     specs.append(baseline_spec("cello", scale=SCALE, seed=SEED))
     return specs
 
@@ -60,6 +73,41 @@ class TestSerialDeterminism:
         assert _report_bytes(execute_spec(spec_a)) != _report_bytes(
             execute_spec(spec_b)
         )
+
+    def test_faulted_spec_deterministic(self):
+        spec = cell_spec(
+            "cello", 3, "wsc", scale=SCALE, seed=SEED, fault_rate=5e-4
+        )
+        first = execute_spec(spec)
+        clear_memos()
+        second = execute_spec(spec)
+        assert _report_bytes(first) == _report_bytes(second)
+
+    def test_none_fault_plan_is_zero_overlay(self):
+        """``fault_plan=FaultPlan.none()`` must be byte-invisible.
+
+        The explicit no-fault plan and no plan at all take the same code
+        path: no injector, no epoch guards, no availability payload — so
+        every pre-fault figure stays byte-identical.
+        """
+        spec = cell_spec("cello", 3, "heuristic", scale=SCALE, seed=SEED)
+        requests, catalog, disks = get_binding(
+            spec.trace,
+            spec.replication_factor,
+            spec.zipf_exponent,
+            spec.scale,
+            spec.seed,
+        )
+        config = make_config(disks, spec.profile, spec.seed)
+        plain = simulate(requests, catalog, make_scheduler(spec), config)
+        overlaid = simulate(
+            requests,
+            catalog,
+            make_scheduler(spec),
+            replace(config, fault_plan=FaultPlan.none()),
+        )
+        assert canonical_report_json(plain) == canonical_report_json(overlaid)
+        assert "availability" not in canonical_report_json(plain)
 
 
 class TestPoolEquivalence:

@@ -1,0 +1,6 @@
+"""Tests for the fault-injection subsystem (``repro.faults``).
+
+This package is part of the mypy strict set (see ``pyproject.toml``):
+the fault layer guards the zero-overlay invariant of every no-fault
+figure, so its tests are held to the same typing bar as the code.
+"""

@@ -1,0 +1,268 @@
+"""Tests for fault plans and their deterministic schedules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    MAX_OUTAGES_PER_DISK,
+    DiskFaultSchedule,
+    FaultPlan,
+    PermanentFaults,
+    ScriptedFault,
+    SpinUpFaults,
+    TransientFaults,
+    build_schedule,
+    spin_up_stream,
+    weibull_time_s,
+)
+from repro.types import DiskId
+
+
+class TestPlanValidation:
+    def test_permanent_rejects_nonpositive_mttf(self) -> None:
+        with pytest.raises(ConfigurationError, match="mttf_s"):
+            PermanentFaults(mttf_s=0.0)
+        with pytest.raises(ConfigurationError, match="mttf_s"):
+            PermanentFaults(mttf_s=-5.0)
+
+    def test_permanent_rejects_nonpositive_shape(self) -> None:
+        with pytest.raises(ConfigurationError, match="weibull_shape"):
+            PermanentFaults(mttf_s=100.0, weibull_shape=0.0)
+
+    def test_transient_rejects_bad_times(self) -> None:
+        with pytest.raises(ConfigurationError, match="mtbf_s"):
+            TransientFaults(mtbf_s=0.0, mean_repair_s=1.0)
+        with pytest.raises(ConfigurationError, match="mean_repair_s"):
+            TransientFaults(mtbf_s=1.0, mean_repair_s=-1.0)
+
+    def test_spin_up_rejects_bad_probability(self) -> None:
+        with pytest.raises(ConfigurationError, match="probability"):
+            SpinUpFaults(probability=1.5)
+        with pytest.raises(ConfigurationError, match="probability"):
+            SpinUpFaults(probability=-0.1)
+
+    def test_spin_up_rejects_negative_retries(self) -> None:
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            SpinUpFaults(probability=0.5, max_retries=-1)
+
+    def test_scripted_rejects_negative_instant(self) -> None:
+        with pytest.raises(ConfigurationError, match="at_s"):
+            ScriptedFault(disk_id=0, at_s=-1.0)
+
+    def test_scripted_rejects_nonpositive_repair(self) -> None:
+        with pytest.raises(ConfigurationError, match="repair_after_s"):
+            ScriptedFault(disk_id=0, at_s=1.0, repair_after_s=0.0)
+
+    def test_canonical_rejects_nonpositive_rate(self) -> None:
+        with pytest.raises(ConfigurationError, match="failure_rate_per_s"):
+            FaultPlan.canonical(0.0)
+
+
+class TestPlanShape:
+    def test_none_plan_is_inactive(self) -> None:
+        assert FaultPlan.none().active is False
+
+    def test_each_fault_source_activates(self) -> None:
+        assert FaultPlan(permanent=PermanentFaults(mttf_s=1.0)).active
+        assert FaultPlan(
+            transient=TransientFaults(mtbf_s=1.0, mean_repair_s=1.0)
+        ).active
+        assert FaultPlan(spin_up=SpinUpFaults(probability=0.1)).active
+        assert FaultPlan(
+            scripted=(ScriptedFault(disk_id=0, at_s=1.0),)
+        ).active
+
+    def test_canonical_is_permanent_only(self) -> None:
+        plan = FaultPlan.canonical(1e-4, seed=7)
+        assert plan.seed == 7
+        assert plan.permanent is not None
+        assert plan.permanent.mttf_s == pytest.approx(1e4)
+        assert plan.permanent.weibull_shape == 1.0
+        assert plan.transient is None
+        assert plan.spin_up is None
+        assert plan.scripted == ()
+
+    def test_key_payload_names_every_knob(self) -> None:
+        plan = FaultPlan(
+            seed=3,
+            permanent=PermanentFaults(mttf_s=50.0, weibull_shape=2.0),
+            transient=TransientFaults(mtbf_s=10.0, mean_repair_s=1.0),
+            spin_up=SpinUpFaults(probability=0.25, max_retries=1),
+            scripted=(ScriptedFault(disk_id=2, at_s=9.0, repair_after_s=4.0),),
+        )
+        payload = plan.key_payload()
+        assert payload["seed"] == 3
+        assert payload["permanent"] == {"mttf_s": 50.0, "weibull_shape": 2.0}
+        assert payload["transient"] == {"mtbf_s": 10.0, "mean_repair_s": 1.0}
+        assert payload["spin_up"] == {"probability": 0.25, "max_retries": 1}
+        assert payload["scripted"] == [
+            {"disk_id": 2, "at_s": 9.0, "repair_after_s": 4.0}
+        ]
+
+
+class TestWeibullDraw:
+    def test_zero_uniform_is_immediate(self) -> None:
+        assert weibull_time_s(0.0, mttf_s=100.0, shape=1.0) == 0.0
+
+    def test_uniform_domain_enforced(self) -> None:
+        with pytest.raises(ConfigurationError, match="u must be"):
+            weibull_time_s(1.0, mttf_s=100.0, shape=1.0)
+        with pytest.raises(ConfigurationError, match="u must be"):
+            weibull_time_s(-0.5, mttf_s=100.0, shape=1.0)
+
+    def test_scales_linearly_with_mttf(self) -> None:
+        # The monotonicity the fault sweep relies on: for one uniform,
+        # halving the rate (doubling the MTTF) doubles the failure time.
+        short = weibull_time_s(0.37, mttf_s=100.0, shape=1.0)
+        long = weibull_time_s(0.37, mttf_s=200.0, shape=1.0)
+        assert long == pytest.approx(2.0 * short)
+
+    def test_exponential_shape_recovers_inverse_cdf(self) -> None:
+        import math
+
+        u = 0.5
+        expected = 100.0 * -math.log(1.0 - u)
+        assert weibull_time_s(u, mttf_s=100.0, shape=1.0) == pytest.approx(
+            expected
+        )
+
+
+class TestScheduleDeterminism:
+    def test_same_inputs_same_schedule(self) -> None:
+        plan = FaultPlan(
+            seed=11,
+            permanent=PermanentFaults(mttf_s=500.0),
+            transient=TransientFaults(mtbf_s=200.0, mean_repair_s=20.0),
+        )
+        first = build_schedule(plan, num_disks=6, horizon_s=1000.0)
+        second = build_schedule(plan, num_disks=6, horizon_s=1000.0)
+        assert first == second
+
+    def test_disk_schedules_stable_under_fleet_growth(self) -> None:
+        # Per-disk streams derive from (seed, disk_id) alone, so adding
+        # disks never perturbs the existing disks' failure times.
+        plan = FaultPlan(seed=11, permanent=PermanentFaults(mttf_s=500.0))
+        small = build_schedule(plan, num_disks=4, horizon_s=1000.0)
+        large = build_schedule(plan, num_disks=8, horizon_s=1000.0)
+        assert large[:4] == small
+
+    def test_different_seeds_differ(self) -> None:
+        def deaths(seed: int) -> Tuple[Optional[float], ...]:
+            plan = FaultPlan(seed=seed, permanent=PermanentFaults(mttf_s=500.0))
+            sched = build_schedule(plan, num_disks=16, horizon_s=10_000.0)
+            return tuple(entry.permanent_at_s for entry in sched)
+
+        assert deaths(1) != deaths(2)
+
+    def test_spin_up_stream_is_per_disk_deterministic(self) -> None:
+        plan = FaultPlan(seed=5, spin_up=SpinUpFaults(probability=0.5))
+        again = spin_up_stream(plan, 3)
+        draws = [spin_up_stream(plan, 3).random() for _ in range(1)]
+        assert again.random() == draws[0]
+        assert spin_up_stream(plan, 4).random() != draws[0]
+
+    def test_input_validation(self) -> None:
+        plan = FaultPlan(seed=1, permanent=PermanentFaults(mttf_s=10.0))
+        with pytest.raises(ConfigurationError, match="num_disks"):
+            build_schedule(plan, num_disks=0, horizon_s=10.0)
+        with pytest.raises(ConfigurationError, match="horizon_s"):
+            build_schedule(plan, num_disks=1, horizon_s=-1.0)
+
+
+class TestScheduleMonotonicity:
+    def test_higher_rate_strictly_advances_every_death(self) -> None:
+        horizon = 50_000.0
+        lo = build_schedule(FaultPlan.canonical(1e-5, seed=1), 32, horizon)
+        hi = build_schedule(FaultPlan.canonical(1e-4, seed=1), 32, horizon)
+        deaths_lo: Dict[DiskId, float] = {
+            s.disk_id: s.permanent_at_s
+            for s in lo
+            if s.permanent_at_s is not None
+        }
+        deaths_hi: Dict[DiskId, float] = {
+            s.disk_id: s.permanent_at_s
+            for s in hi
+            if s.permanent_at_s is not None
+        }
+        # Every disk dead at the low rate is dead (earlier) at the high rate.
+        assert set(deaths_lo) <= set(deaths_hi)
+        for disk_id, at_lo in deaths_lo.items():
+            assert deaths_hi[disk_id] < at_lo
+        # And the high rate genuinely kills more of the fleet here.
+        assert len(deaths_hi) > len(deaths_lo)
+
+
+class TestScriptedMerge:
+    def test_earlier_scripted_death_overrides_stochastic(self) -> None:
+        plan = FaultPlan(
+            seed=1,
+            permanent=PermanentFaults(mttf_s=10.0),  # everything dies fast
+            scripted=(ScriptedFault(disk_id=0, at_s=0.25),),
+        )
+        sched = build_schedule(plan, num_disks=1, horizon_s=1000.0)
+        death = sched[0].permanent_at_s
+        assert death is not None
+        assert death <= 0.25
+
+    def test_later_scripted_death_does_not_postpone(self) -> None:
+        plan = FaultPlan(
+            seed=1,
+            scripted=(
+                ScriptedFault(disk_id=0, at_s=5.0),
+                ScriptedFault(disk_id=0, at_s=100.0),
+            ),
+        )
+        sched = build_schedule(plan, num_disks=1, horizon_s=1000.0)
+        assert sched[0].permanent_at_s == 5.0
+
+    def test_outages_truncated_at_permanent_death(self) -> None:
+        plan = FaultPlan(
+            scripted=(
+                ScriptedFault(disk_id=0, at_s=10.0),  # permanent
+                ScriptedFault(disk_id=0, at_s=20.0, repair_after_s=5.0),
+                ScriptedFault(disk_id=0, at_s=2.0, repair_after_s=1.0),
+            )
+        )
+        sched = build_schedule(plan, num_disks=1, horizon_s=1000.0)
+        assert sched[0].permanent_at_s == 10.0
+        assert sched[0].outages == ((2.0, 3.0),)
+
+    def test_scripted_fault_beyond_horizon_ignored(self) -> None:
+        plan = FaultPlan(scripted=(ScriptedFault(disk_id=0, at_s=999.0),))
+        sched = build_schedule(plan, num_disks=1, horizon_s=100.0)
+        assert sched[0].permanent_at_s is None
+
+    def test_scripted_fault_on_unknown_disk_rejected(self) -> None:
+        plan = FaultPlan(scripted=(ScriptedFault(disk_id=9, at_s=1.0),))
+        with pytest.raises(ConfigurationError, match="unknown disk 9"):
+            build_schedule(plan, num_disks=3, horizon_s=100.0)
+
+
+class TestOutageBackstop:
+    def test_outage_count_bounded_per_disk(self) -> None:
+        # A pathological parameterisation (repairs much faster than
+        # failures arrive) cannot wedge the event loop: the generator
+        # stops at MAX_OUTAGES_PER_DISK intervals.
+        plan = FaultPlan(
+            seed=1,
+            transient=TransientFaults(mtbf_s=1e-4, mean_repair_s=1e-6),
+        )
+        sched: Tuple[DiskFaultSchedule, ...] = build_schedule(
+            plan, num_disks=1, horizon_s=1e9
+        )
+        assert len(sched[0].outages) == MAX_OUTAGES_PER_DISK
+
+    def test_outages_are_ordered(self) -> None:
+        plan = FaultPlan(
+            seed=4, transient=TransientFaults(mtbf_s=50.0, mean_repair_s=5.0)
+        )
+        sched = build_schedule(plan, num_disks=2, horizon_s=5000.0)
+        for entry in sched:
+            downs = [down for down, _ in entry.outages]
+            assert downs == sorted(downs)
+            for down, up in entry.outages:
+                assert up > down

@@ -1,0 +1,115 @@
+"""Fault-sweep tier: zero-rate identity, monotone degradation, no crashes."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    baseline_spec,
+    canonical_json,
+    cell_spec,
+    execute_spec,
+)
+from repro.experiments.fault_sweep import SWEEP_SCHEDULERS
+
+SCALE = 0.05
+SEED = 1
+
+#: A compact rate grid for the test tier (the bench sweeps more points).
+RATES = (0.0, 1e-4, 5e-4, 1e-3)
+
+
+def _availability(payload: Dict[str, Any]) -> float:
+    report = payload["report"]
+    if "availability" not in report:
+        return 1.0
+    avail = report["availability"]
+    downtime = sum(avail["downtime_s"].values())
+    disk_seconds = avail["disk_seconds"]
+    return max(0.0, 1.0 - downtime / disk_seconds) if disk_seconds else 1.0
+
+
+class TestSpecSurface:
+    def test_fault_rate_in_cache_key_and_label(self) -> None:
+        spec = cell_spec("cello", 3, "static", scale=SCALE, seed=SEED, fault_rate=5e-4)
+        assert spec.key_payload()["fault_rate"] == 5e-4
+        assert spec.label().endswith("/f0.0005")
+        plain = cell_spec("cello", 3, "static", scale=SCALE, seed=SEED)
+        assert plain != spec
+        assert "/f" not in plain.label()
+
+    def test_negative_fault_rate_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="fault_rate"):
+            cell_spec("cello", 3, "static", scale=SCALE, seed=SEED, fault_rate=-1e-4)
+
+    def test_baseline_specs_must_stay_fault_free(self) -> None:
+        plain = baseline_spec("cello", scale=SCALE, seed=SEED)
+        with pytest.raises(ConfigurationError, match="fault-free"):
+            replace(plain, fault_rate=1e-4)
+
+    def test_mwis_specs_cannot_be_fault_injected(self) -> None:
+        with pytest.raises(ConfigurationError, match="mwis"):
+            cell_spec("cello", 3, "mwis", scale=SCALE, seed=SEED, fault_rate=1e-4)
+
+
+class TestZeroRateIdentity:
+    def test_rate_zero_is_the_no_fault_spec(self) -> None:
+        # fault_rate=0.0 is not a distinct cell: it IS the ordinary spec,
+        # so the sweep's zero column reuses cached no-fault runs.
+        plain = cell_spec("cello", 3, "heuristic", scale=SCALE, seed=SEED)
+        zero = cell_spec(
+            "cello", 3, "heuristic", scale=SCALE, seed=SEED, fault_rate=0.0
+        )
+        assert zero == plain
+        payload = execute_spec(zero)
+        assert "availability" not in payload["report"]
+
+    def test_faulted_payload_carries_availability(self) -> None:
+        spec = cell_spec(
+            "cello", 3, "heuristic", scale=SCALE, seed=SEED, fault_rate=1e-3
+        )
+        payload = execute_spec(spec)
+        avail = payload["report"]["availability"]
+        assert avail["disk_failures"] > 0
+        assert avail["disk_seconds"] > 0
+        assert _availability(payload) < 1.0
+
+
+class TestDegradationCurve:
+    def test_availability_monotone_in_rate(self) -> None:
+        availabilities: List[float] = []
+        for rate in RATES:
+            payload = execute_spec(
+                cell_spec(
+                    "cello", 3, "static", scale=SCALE, seed=SEED, fault_rate=rate
+                )
+            )
+            availabilities.append(_availability(payload))
+        assert availabilities[0] == 1.0
+        for lower, higher in zip(availabilities[1:], availabilities):
+            assert lower <= higher
+        assert availabilities[-1] < 1.0
+
+    def test_no_scheduler_crashes_at_high_rate(self) -> None:
+        for key in SWEEP_SCHEDULERS:
+            payload = execute_spec(
+                cell_spec(
+                    "cello", 3, key, scale=SCALE, seed=SEED, fault_rate=1e-3
+                )
+            )
+            report = payload["report"]
+            lost = report["availability"].get("requests_lost", 0)
+            assert report["requests_completed"] + lost <= report["requests_offered"]
+            assert report["requests_completed"] > 0
+
+    def test_same_rate_same_schedule_across_runs(self) -> None:
+        spec = cell_spec(
+            "cello", 3, "random", scale=SCALE, seed=SEED, fault_rate=5e-4
+        )
+        first = execute_spec(spec)
+        second = execute_spec(spec)
+        assert canonical_json(first["report"]) == canonical_json(second["report"])

@@ -70,8 +70,12 @@ class TestOnlineRuns:
 
         catalog = PlacementCatalog({0: [0, 1]})
         system = StorageSystem(catalog, RogueScheduler(), unit_config())
-        with pytest.raises(SchedulingError, match="does not hold"):
+        # The engine wraps callback failures with event context but keeps
+        # the scheduling error as the cause chain.
+        with pytest.raises(SimulationError, match="does not hold") as excinfo:
             system.run(make_requests([0.0]))
+        assert isinstance(excinfo.value.__cause__, SchedulingError)
+        assert "t=0" in str(excinfo.value)
 
     def test_empty_request_stream(self):
         catalog = PlacementCatalog({0: [0]})

@@ -105,6 +105,38 @@ SEEDABLE_NUMPY_ATTRS: FrozenSet[str] = frozenset(
     {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "MT19937", "RandomState"}
 )
 
+#: Functions on the per-event/per-request hot path (RPL007). A fresh
+#: container built inside one of these runs once per simulated event —
+#: tens of thousands of times per run — so RPL007 flags
+#: comprehension-based rebuilding there. Method *names*, matched in the
+#: modules selected by :data:`DEFAULT_HOT_PATH_PARTS`.
+DEFAULT_HOT_FUNCTIONS: FrozenSet[str] = frozenset(
+    {
+        "choose",
+        "cost",
+        "energy_cost",
+        "marginal_energy",
+        "locations",
+        "available_locations",
+        "submit",
+        "step",
+        "post",
+        "schedule_at",
+        "schedule_after",
+        "transition",
+        "_admit",
+        "_dispatch",
+        "_on_arrival",
+        "_fix_head",
+        "_note_cancel",
+        "_service_loop",
+    }
+)
+
+#: Path fragments (``/``-separated) selecting the modules RPL007 scans:
+#: the simulation core and the scheduler layer.
+DEFAULT_HOT_PATH_PARTS: Tuple[str, ...] = ("repro/sim", "repro/core")
+
 
 @dataclass(frozen=True)
 class CheckConfig:
@@ -117,6 +149,10 @@ class CheckConfig:
         scheduler_contracts: Base-class name -> required method (RPL004).
         request_names: Parameter names treated as frozen ``Request``
             instances for the mutation check (RPL004).
+        hot_functions: Function/method names treated as per-event hot
+            paths by RPL007.
+        hot_path_parts: Path fragments selecting the modules RPL007
+            scans (empty disables the rule everywhere).
     """
 
     vocabulary: UnitVocabulary = field(default_factory=UnitVocabulary)
@@ -126,6 +162,8 @@ class CheckConfig:
         default_factory=lambda: dict(DEFAULT_SCHEDULER_CONTRACTS)
     )
     request_names: Tuple[str, ...] = ("request", "req")
+    hot_functions: FrozenSet[str] = DEFAULT_HOT_FUNCTIONS
+    hot_path_parts: Tuple[str, ...] = DEFAULT_HOT_PATH_PARTS
 
     def rule_enabled(self, code: str) -> bool:
         """Apply ``select`` then ``ignore`` to one rule code."""

@@ -8,10 +8,12 @@ from repro.checks.rules.rpl003_unseeded_random import UnseededRandomRule
 from repro.checks.rules.rpl004_scheduler_contract import SchedulerContractRule
 from repro.checks.rules.rpl005_mutable_defaults import MutableDefaultRule
 from repro.checks.rules.rpl006_broad_except import BroadExceptRule
+from repro.checks.rules.rpl007_hot_path_allocation import HotPathAllocationRule
 
 __all__ = [
     "BroadExceptRule",
     "FloatEqualityRule",
+    "HotPathAllocationRule",
     "MutableDefaultRule",
     "SchedulerContractRule",
     "UnitSuffixRule",

@@ -1,0 +1,114 @@
+"""RPL007 — allocation-heavy constructs in known hot functions.
+
+The simulation core dispatches tens of thousands of events per run; a
+comprehension inside a per-event function rebuilds a fresh container on
+*every* call, and those allocations dominate profiles long before the
+arithmetic does (the incremental-cost-caching work exists precisely
+because of this pattern). The rule flags list/set/dict comprehensions —
+and generator expressions materialised through ``list``/``tuple``/
+``set``/``frozenset``/``sorted``/``dict`` — inside functions named in
+``CheckConfig.hot_functions``, but only in the hot-path modules selected
+by ``CheckConfig.hot_path_parts`` (the simulation core and scheduler
+layer); offline/analysis code may comprehend freely.
+
+Deliberately cold constructs on a hot-function line can be waived with
+``# reprolint: disable=RPL007`` — materialised generator expressions are
+reported at the enclosing builder call so the pragma sits on the call
+line, not the expression's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Union
+
+from repro.checks.registry import FileContext, Rule, register_rule
+from repro.checks.violation import Violation
+
+#: Builtins that materialise a generator expression into a container.
+MATERIALISERS = frozenset({"list", "tuple", "set", "frozenset", "sorted", "dict"})
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp)
+
+_KIND_LABELS = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+}
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@register_rule
+class HotPathAllocationRule(Rule):
+    """Flag per-call container rebuilds inside known hot functions."""
+
+    code = "RPL007"
+    name = "hot-path-allocation"
+    summary = "no per-call container rebuilds in known hot functions"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        config = context.config
+        if not _in_scope(context.path, config.hot_path_parts):
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in config.hot_functions
+            ):
+                yield from self._check_function(context, node)
+
+    def _check_function(
+        self, context: FileContext, function: _FunctionNode
+    ) -> Iterator[Violation]:
+        # A genexp materialised by a builder call is reported once, at
+        # the call (where a suppression pragma can live); remember the
+        # wrapped expression so the walk does not re-flag it.
+        claimed: Set[int] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                wrapped = _materialised_arguments(node)
+                if wrapped:
+                    for argument in wrapped:
+                        claimed.add(id(argument))
+                    yield context.violation(
+                        self,
+                        node,
+                        f"{_call_name(node)}(...) materialises a generator "
+                        f"on every call of hot function "
+                        f"{function.name!r}; hoist it or keep an "
+                        "incremental structure",
+                    )
+            elif isinstance(node, _COMPREHENSIONS) and id(node) not in claimed:
+                yield context.violation(
+                    self,
+                    node,
+                    f"{_KIND_LABELS[type(node)]} rebuilds a fresh container "
+                    f"on every call of hot function {function.name!r}; "
+                    "hoist it or keep an incremental structure",
+                )
+
+
+def _in_scope(path: str, hot_path_parts: Sequence[str]) -> bool:
+    """True when ``path`` lies in one of the configured hot modules."""
+    normalized = path.replace("\\", "/")
+    return any(part in normalized for part in hot_path_parts)
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return "<call>"
+
+
+def _materialised_arguments(node: ast.Call) -> List[ast.expr]:
+    """Comprehension/genexp arguments of a container-builder call."""
+    if not (isinstance(node.func, ast.Name) and node.func.id in MATERIALISERS):
+        return []
+    return [
+        argument
+        for argument in node.args
+        if isinstance(argument, (*_COMPREHENSIONS, ast.GeneratorExp))
+    ]

@@ -2,7 +2,10 @@
 
 Subcommands:
 
-* ``profile [name]`` — print a power profile (default: the evaluation one).
+* ``profile [name]`` — print a power profile (default: the evaluation
+  one), or — given a bench id like ``fig6`` — run that bench under
+  cProfile and print the top-N cumulative table
+  (see :mod:`repro.perf.benchprof`).
 * ``simulate`` — one trace-driven run with a chosen scheduler.
 * ``figure <figN>`` — reproduce one figure of the paper and print its
   series table.
@@ -38,12 +41,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    profile = sub.add_parser("profile", help="print a disk power profile")
+    profile = sub.add_parser(
+        "profile",
+        help="print a disk power profile, or cProfile a bench "
+        "(e.g. 'profile fig6')",
+    )
     profile.add_argument(
         "name",
         nargs="?",
         default=PAPER_EVAL.name,
-        choices=sorted(PROFILES),
+        help="a power-profile name, or a bench id to run under cProfile",
+    )
+    profile.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="trace/disk scale for bench profiling",
+    )
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--top", type=int, default=25, help="rows of the cProfile table"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
     )
 
     figure = sub.add_parser("figure", help="reproduce one paper figure")
@@ -126,7 +148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "profile":
-            print(get_profile(args.name).describe())
+            return _run_profile(args)
         elif args.command == "figure":
             _print_figure(args.figure_id)
         elif args.command == "simulate":
@@ -159,6 +181,26 @@ def _print_figure(figure_id: str) -> None:
             print()
     else:
         print(result.render())
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """Power-profile names print the profile; bench ids run cProfile."""
+    if args.name in PROFILES:
+        print(get_profile(args.name).describe())
+        return 0
+    # Imported lazily: pulls in the full harness import graph.
+    from repro.perf.benchprof import profile_bench
+
+    print(
+        profile_bench(
+            args.name,
+            scale=args.scale,
+            seed=args.seed,
+            top=args.top,
+            sort=args.sort,
+        )
+    )
+    return 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:

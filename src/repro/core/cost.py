@@ -19,7 +19,7 @@ on ``alpha = 0.2``, ``beta = 100`` (Appendix A.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from repro.errors import ConfigurationError
@@ -88,22 +88,42 @@ class CostFunction:
     Attributes:
         alpha: Energy-vs-performance ratio in [0, 1]; 1 = energy only.
         beta: Unit factor scaling joules against queue length; > 0.
+        load_weight: Derived ``1 - alpha``, precomputed for the per-arrival
+            hot path (schedulers fold it into their inner loop).
     """
 
     alpha: float = 0.2
     beta: float = 100.0
+    load_weight: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
             raise ConfigurationError(f"alpha must be in [0, 1], got {self.alpha}")
         if self.beta <= 0:
             raise ConfigurationError(f"beta must be positive, got {self.beta}")
+        object.__setattr__(self, "load_weight", 1.0 - self.alpha)
 
     def cost(self, disk: DiskView, now: float, profile: DiskPowerProfile) -> float:
-        """Evaluate ``C(dk)`` for one disk at time ``now``."""
-        energy = energy_cost(disk.state, disk.last_request_time, now, profile)
-        load = performance_cost(disk.queue_length)
-        return energy * self.alpha / self.beta + load * (1.0 - self.alpha)
+        """Evaluate ``C(dk)`` for one disk at time ``now``.
+
+        Live :class:`~repro.disk.drive.SimulatedDisk` views expose a
+        memoised ``marginal_energy`` (same value as :func:`energy_cost`
+        on their own profile, which in the simulator is always the
+        ``profile`` passed here); plain protocol views fall back to the
+        reference Eq. 5 evaluation.
+        """
+        marginal = getattr(disk, "marginal_energy", None)
+        if marginal is not None:
+            energy = marginal(now)
+        else:
+            energy = energy_cost(disk.state, disk.last_request_time, now, profile)
+        queue_length = disk.queue_length
+        if queue_length < 0:
+            raise ConfigurationError("queue length must be >= 0")
+        # NOTE: evaluation order `energy * alpha / beta` is load-bearing —
+        # folding alpha/beta into one factor rounds differently and would
+        # flip near-tie scheduling decisions.
+        return energy * self.alpha / self.beta + queue_length * self.load_weight
 
     def energy_only(self) -> "CostFunction":
         """The pure-energy corner (alpha = 1) used by the plain WSC weights."""

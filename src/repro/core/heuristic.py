@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cost import PAPER_COST_FUNCTION, CostFunction
+from repro.core.cost import PAPER_COST_FUNCTION, CostFunction, energy_cost
 from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
 from repro.errors import ReplicaUnavailableError
 from repro.types import DiskId, Request
@@ -40,16 +40,47 @@ class HeuristicScheduler(OnlineScheduler):
             raise ReplicaUnavailableError(
                 f"no live replica for data {request.data_id}"
             )
-        best_disk = locations[0]
-        best_key = None
+        # Inlined CostFunction.cost(): this loop runs once per arrival and
+        # dominated the profile; hoisting the weights and reading each
+        # disk's queue once roughly halves its attribute traffic. The
+        # arithmetic matches CostFunction.cost() bit for bit (evaluation
+        # order `energy * alpha / beta` included).
+        cost_function = self.cost_function
+        alpha = cost_function.alpha
+        beta = cost_function.beta
+        load_weight = cost_function.load_weight
+        now = view.now
+        profile = view.profile
+        disk_of = view.disk
+        best_disk: Optional[DiskId] = None
+        best_cost = 0.0
+        best_queue = 0
         for disk_id in locations:
-            disk = view.disk(disk_id)
-            cost = self.cost_function.cost(disk, view.now, view.profile)
-            # Deterministic tie-breaks: shorter queue, then lower disk id.
-            key = (cost, disk.queue_length, disk_id)
-            if best_key is None or key < best_key:
-                best_key = key
+            disk = disk_of(disk_id)
+            try:
+                energy = disk.marginal_energy(now)
+            except AttributeError:  # plain DiskView (tests, analyses)
+                energy = energy_cost(disk.state, disk.last_request_time, now, profile)
+            queue_length = disk.queue_length
+            cost = energy * alpha / beta + queue_length * load_weight
+            # Deterministic tie-breaks: shorter queue, then lower disk id —
+            # the unrolled comparisons equal `<` on the old
+            # (cost, queue_length, disk_id) tuple key without allocating it.
+            if (
+                best_disk is None
+                or cost < best_cost
+                or (
+                    cost == best_cost
+                    and (
+                        queue_length < best_queue
+                        or (queue_length == best_queue and disk_id < best_disk)
+                    )
+                )
+            ):
+                best_cost = cost
+                best_queue = queue_length
                 best_disk = disk_id
+        assert best_disk is not None  # locations is non-empty
         return best_disk
 
     @property

@@ -99,7 +99,11 @@ class WSCBatchScheduler(BatchScheduler):
     def _disk_weight(self, disk_id: DiskId, view: SystemView) -> float:
         disk = view.disk(disk_id)
         if self.use_cost_function:
+            # Takes the memoised marginal-energy fast path on live disks.
             return self.cost_function.cost(disk, view.now, view.profile)
+        marginal = getattr(disk, "marginal_energy", None)
+        if marginal is not None:
+            return float(marginal(view.now))  # float() narrows the Any from getattr
         return energy_cost(disk.state, disk.last_request_time, view.now, view.profile)
 
     @property

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro.disk.service import ConstantServiceModel, ServiceTimeModel
 from repro.disk.stats import DiskStats
-from repro.errors import ReplicaUnavailableError, SimulationError
+from repro.errors import ConfigurationError, ReplicaUnavailableError, SimulationError
 from repro.faults.health import DiskHealth
 from repro.power.policy import PowerPolicy, TwoCompetitivePolicy
 from repro.power.profile import DiskPowerProfile
@@ -36,7 +36,7 @@ from repro.types import DiskId, Request
 
 if TYPE_CHECKING:  # used only in annotations; avoids a package import cycle
     from repro.faults.plan import SpinUpFaults
-    from repro.sim.engine import EventCallback, EventHandle, SimulationEngine
+    from repro.sim.engine import EventCallback, ReusableTimer, SimulationEngine
 
 CompletionCallback = Callable[[Request, DiskId, float], None]
 FaultDeathCallback = Callable[[DiskId, List[Request]], None]
@@ -75,9 +75,34 @@ class SimulatedDisk:
         self.stats.begin(initial_state, engine.now)
         self._queue: Deque[Request] = deque()
         self._in_service: Optional[Request] = None
-        self._idle_timer: Optional[EventHandle] = None
+        # The idleness timer is a single reusable engine timer: the 2CPM
+        # cancel-on-arrival / re-arm-on-drain churn then costs O(1) field
+        # writes instead of one dead heap entry + allocation per arrival.
+        self._idle_timer: Optional[ReusableTimer] = None
+        # Service completions on no-fault runs reuse one timer as well —
+        # a disk services one request at a time, so it is always free.
+        self._service_timer: Optional[ReusableTimer] = None
+        # The policy's timeout depends only on (policy, profile), both
+        # fixed at construction — resolve it once instead of per drain.
+        self._idle_timeout_s = self._policy.idle_timeout(profile)
         #: ``Tlast`` of Eq. 5 — when this disk last *received* a request.
         self.last_request_time: Optional[float] = None
+        # Eq. 5 memo: the marginal energy is a per-state constant except
+        # in IDLE, where it grows with the idle extension. Precompute the
+        # profile-derived constants once and refresh the per-state value
+        # on every transition; marginal_energy() then reads a field.
+        self._idle_power_w = profile.idle_power
+        self._standby_marginal_j = (
+            profile.transition_energy + profile.breakeven_time * profile.idle_power
+        )
+        self._marginal_const_by_state: Dict[DiskPowerState, Optional[float]] = {
+            DiskPowerState.ACTIVE: 0.0,
+            DiskPowerState.SPIN_UP: 0.0,
+            DiskPowerState.STANDBY: self._standby_marginal_j,
+            DiskPowerState.SPIN_DOWN: self._standby_marginal_j,
+            DiskPowerState.IDLE: None,  # dynamic: idle extension
+        }
+        self._marginal_const = self._marginal_const_by_state[initial_state]
         # Fault-injection hooks; inert until enable_fault_injection().
         self._health = DiskHealth.HEALTHY
         self._fault_capable = False
@@ -102,6 +127,28 @@ class SimulatedDisk:
     def queue_length(self) -> int:
         """``P(dk)`` of Eq. 7: queued requests plus the one in service."""
         return len(self._queue) + (1 if self._in_service is not None else 0)
+
+    def marginal_energy(self, now: float) -> float:
+        """Eq. 5 ``E(dk)`` in joules, from the per-state memo.
+
+        Bit-identical to :func:`repro.core.cost.energy_cost` on this
+        disk's live state — the constant branches are precomputed from
+        the same profile expressions, and the IDLE branch evaluates the
+        same arithmetic on demand.
+        """
+        const = self._marginal_const
+        if const is not None:
+            return const
+        # IDLE: charge the idle-time extension (Tnow - Tlast) * PI.
+        t_last = self.last_request_time
+        if t_last is None:
+            return 0.0
+        extension = now - t_last
+        if extension < 0:
+            raise ConfigurationError(
+                f"last_request_time {t_last} is in the future of {now}"
+            )
+        return extension * self._idle_power_w
 
     @property
     def health(self) -> DiskHealth:
@@ -232,6 +279,7 @@ class SimulatedDisk:
     def _transition(self, new_state: DiskPowerState) -> None:
         self.stats.transition(new_state, self._engine.now)
         self._state = new_state
+        self._marginal_const = self._marginal_const_by_state[new_state]
 
     def _start_spin_up(self) -> None:
         self._transition(DiskPowerState.SPIN_UP)
@@ -293,7 +341,17 @@ class SimulatedDisk:
             if duration < 0:
                 raise SimulationError("service model returned negative duration")
             if duration > 0:
-                self._schedule_after(duration, self._on_service_complete)
+                if self._fault_capable:
+                    # Fault runs need the epoch guard (a completion from
+                    # before a crash-stop must not fire after it).
+                    self._schedule_after(duration, self._on_service_complete)
+                else:
+                    timer = self._service_timer
+                    if timer is None:
+                        timer = self._service_timer = self._engine.timer(
+                            self._on_service_complete
+                        )
+                    timer.schedule_after(duration)
                 return
             self._complete_current()
             if not self._queue:
@@ -319,22 +377,24 @@ class SimulatedDisk:
             self._on_complete(request, self.disk_id, self._engine.now)
 
     def _arm_idle_timer(self) -> None:
-        timeout = self._policy.idle_timeout(self.profile)
+        timeout = self._idle_timeout_s
         if timeout is None:
             return
-        self._idle_timer = self._engine.schedule_after(timeout, self._on_idle_timeout)
+        timer = self._idle_timer
+        if timer is None:
+            timer = self._idle_timer = self._engine.timer(self._on_idle_timeout)
+        timer.schedule_after(timeout)
 
     def _cancel_idle_timer(self) -> None:
+        # The timer object is kept for reuse; cancel() just disarms it.
         if self._idle_timer is not None:
             self._idle_timer.cancel()
-            self._idle_timer = None
 
     def _on_idle_timeout(self) -> None:
         if self._state is not DiskPowerState.IDLE:
             return  # a request slipped in and the cancel raced; ignore
         if self._queue:
             raise SimulationError("idle timeout fired with non-empty queue")
-        self._idle_timer = None
         self._start_spin_down()
 
     def _start_spin_down(self) -> None:

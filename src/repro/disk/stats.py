@@ -57,13 +57,12 @@ class DiskStats:
 
     def transition(self, new_state: DiskPowerState, now: float) -> None:
         """Close the current state interval and open a new one."""
+        since = self._state_since
         if self._closed:
             raise SimulationError("stats already finalised")
-        if now < self._state_since:
-            raise SimulationError(
-                f"time went backwards: {now} < {self._state_since}"
-            )
-        self.state_time[self._current_state] += now - self._state_since
+        if now < since:
+            raise SimulationError(f"time went backwards: {now} < {since}")
+        self.state_time[self._current_state] += now - since
         if self.transitions is not None:
             self.transitions.append((now, new_state))
         if new_state is DiskPowerState.SPIN_UP:

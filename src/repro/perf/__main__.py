@@ -1,0 +1,10 @@
+"""``python -m repro.perf`` — run the microbenchmark suite."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.perf.microbench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

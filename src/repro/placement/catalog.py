@@ -46,6 +46,16 @@ class PlacementCatalog:
         except KeyError:
             raise PlacementError(f"unknown data id {data_id}")
 
+    def mapping(self) -> Mapping[DataId, Tuple[DiskId, ...]]:
+        """The full ``data_id -> locations`` map, for hot-path lookups.
+
+        Returned by reference (the catalog is immutable by convention);
+        callers must treat it as read-only. The storage layer uses this
+        to resolve placements with one dict access per request instead of
+        a method call + guarded lookup.
+        """
+        return self._locations
+
     def original(self, data_id: DataId) -> DiskId:
         """The original location (Static's choice)."""
         return self.locations(data_id)[0]

@@ -23,6 +23,12 @@ class DiskPowerState(Enum):
     ACTIVE = "active"
     SPIN_DOWN = "spin-down"
 
+    # Enum's default __hash__ is a Python-level `hash(self._name_)` call;
+    # members are per-process singletons, so the C-level identity hash is
+    # equivalent (eq is identity too) and keeps the per-transition
+    # `state_time[state]` ledger updates off the profile.
+    __hash__ = object.__hash__  # type: ignore[assignment]
+
     @property
     def is_spinning(self) -> bool:
         """True when the platters are at full speed (can service I/O)."""

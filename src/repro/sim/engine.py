@@ -2,19 +2,45 @@
 
 The engine is a binary-heap event queue with a monotonic clock. Events are
 plain callables; insertion order breaks timestamp ties so runs are fully
-deterministic. Timers can be cancelled (lazily — cancelled entries are
-skipped on pop), which the 2CPM idleness timer relies on.
+deterministic. Two cancellation mechanisms exist:
+
+* :class:`EventHandle` — the classic lazy cancel: the heap entry stays and
+  is skipped on pop. The engine counts dead entries and compacts the heap
+  in place when the dead fraction crosses a threshold, so pathological
+  schedule/cancel churn cannot grow the heap without bound.
+* :class:`ReusableTimer` — a slotted, reusable timer for the
+  cancel/re-arm pattern of the 2CPM idleness timer. It keeps at most one
+  heap entry alive: cancelling and re-arming to a later deadline are plain
+  field writes (no heap traffic), and the single entry lazily migrates to
+  the current deadline when it surfaces at the head of the heap.
+
+Both paths preserve event ordering exactly: live events always fire in
+``(time, insertion sequence)`` order, and ``events_processed`` counts only
+fired callbacks, so results are byte-identical whether compaction or timer
+reuse kick in or not.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 
 EventCallback = Callable[[], None]
+
+#: One heap entry: ``(time, sequence, handle, payload)``. For plain and
+#: posted events the payload is the callback; for timer entries it is the
+#: generation the entry was pushed under. Posted (fire-and-forget) events
+#: carry ``None`` in the handle slot. The unique sequence number
+#: guarantees tuple comparison never reaches the payload slot.
+_QueueEntry = Tuple[float, int, Union["EventHandle", "ReusableTimer", None], Any]
+
+#: Default dead-entry fraction that triggers an in-place heap compaction.
+DEFAULT_COMPACTION_THRESHOLD = 0.5
+#: Heaps smaller than this are never compacted (not worth the sweep).
+DEFAULT_COMPACTION_MIN_SIZE = 64
 
 
 class EventHandle:
@@ -23,25 +49,126 @@ class EventHandle:
     ``time`` is the event's firing instant in simulated seconds.
     """
 
-    __slots__ = ("time", "_cancelled")
+    __slots__ = ("time", "_cancelled", "_engine")
 
-    def __init__(self, time: float):
+    def __init__(self, time: float, engine: Optional["SimulationEngine"] = None):
         self.time = time
         self._cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing (safe after it fired)."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            engine = self._engine
+            if engine is not None:
+                self._engine = None
+                engine._note_cancel()
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
 
 
+class ReusableTimer:
+    """A slotted engine timer designed for heavy cancel/re-arm churn.
+
+    Unlike :meth:`SimulationEngine.schedule` + :meth:`EventHandle.cancel`
+    (one dead heap entry per cancel, one allocation per arm), a
+    ``ReusableTimer`` owns at most one heap entry for its whole life:
+
+    * :meth:`cancel` marks the timer dormant but leaves the entry in the
+      heap — O(1), no allocation;
+    * re-arming to the same or a later deadline (the 2CPM pattern: the
+      idle timer only ever moves forward) just updates the target — the
+      in-heap entry re-pushes itself to the real deadline when it
+      surfaces, at most once per elapsed entry;
+    * re-arming to an *earlier* deadline abandons the old entry via a
+      generation bump and pushes a fresh one, so arbitrary schedules stay
+      correct.
+
+    Firing order is identical to an equivalently-scheduled plain event:
+    ties at the same timestamp break by insertion sequence, and a migrated
+    entry receives its sequence number when it migrates — strictly before
+    its deadline — so it orders after anything scheduled at that deadline
+    earlier in simulated time, exactly like a freshly-pushed event would.
+    """
+
+    __slots__ = ("_engine", "_callback", "_deadline", "_entry_time", "_generation")
+
+    def __init__(self, engine: "SimulationEngine", callback: EventCallback):
+        self._engine = engine
+        self._callback = callback
+        #: Current firing target in simulated seconds; None = dormant.
+        self._deadline: Optional[float] = None
+        #: Timestamp of this generation's in-heap entry; None = no entry.
+        self._entry_time: Optional[float] = None
+        self._generation = 0
+
+    @property
+    def armed(self) -> bool:
+        """True when the timer has a pending deadline."""
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The firing instant in simulated seconds, or ``None`` if dormant."""
+        return self._deadline
+
+    def schedule_at(self, time: float) -> None:
+        """Arm (or re-arm) the timer to fire at absolute ``time`` seconds.
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        engine = self._engine
+        if time < engine._now:
+            raise SimulationError(
+                f"cannot schedule timer at {time} before now={engine._now}"
+            )
+        entry_time = self._entry_time
+        if entry_time is not None and entry_time <= time:
+            # In-place re-arm: the existing entry fires no later than the
+            # new deadline and will migrate itself forward when popped.
+            if self._deadline is None:
+                engine._cancelled_pending -= 1  # entry is live again
+            self._deadline = time
+            return
+        if entry_time is not None:
+            # Earlier than the in-heap entry: abandon it to a stale
+            # generation (cleaned up on pop or compaction).
+            self._generation += 1
+            if self._deadline is not None:
+                engine._cancelled_pending += 1
+        self._deadline = time
+        self._entry_time = time
+        heapq.heappush(
+            engine._queue,
+            (time, next(engine._sequence), self, self._generation),
+        )
+
+    def schedule_after(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from the engine's current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._engine._now + delay)
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent; the heap entry is reused later)."""
+        if self._deadline is None:
+            return
+        self._deadline = None
+        if self._entry_time is not None:
+            self._engine._note_cancel()
+
+
 class SimulationEngine:
     """Event loop with a monotonic simulated clock.
 
     ``start_time`` is the clock's initial value in simulated seconds.
+    ``compaction_threshold`` is the fraction of dead (cancelled) heap
+    entries that triggers an in-place compaction sweep (``None`` disables
+    compaction); ``compaction_min_size`` is the smallest heap ever swept.
 
     Typical use::
 
@@ -50,12 +177,25 @@ class SimulationEngine:
         engine.run()
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        compaction_threshold: Optional[float] = DEFAULT_COMPACTION_THRESHOLD,
+        compaction_min_size: int = DEFAULT_COMPACTION_MIN_SIZE,
+    ):
+        if compaction_threshold is not None and not 0.0 < compaction_threshold <= 1.0:
+            raise SimulationError(
+                f"compaction_threshold must be in (0, 1], got {compaction_threshold}"
+            )
         self._now = start_time
-        self._queue: List[Tuple[float, int, EventHandle, EventCallback]] = []
+        self._queue: List[_QueueEntry] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        self._compaction_threshold = compaction_threshold
+        self._compaction_min_size = compaction_min_size
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -68,8 +208,23 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Events still queued (including cancelled-but-unpopped ones)."""
+        """Live (non-cancelled) events still queued.
+
+        A dormant :class:`ReusableTimer` entry counts as dead; an armed
+        timer counts as exactly one live event regardless of where its
+        heap entry currently sits.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    @property
+    def queue_depth(self) -> int:
+        """Raw heap size, dead entries included (compaction heuristic)."""
         return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """Heap compaction sweeps performed so far."""
+        return self._compactions
 
     def schedule(self, time: float, callback: EventCallback) -> EventHandle:
         """Schedule ``callback`` at absolute simulated ``time`` (seconds).
@@ -81,7 +236,7 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
-        handle = EventHandle(time)
+        handle = EventHandle(time, self)
         heapq.heappush(self._queue, (time, next(self._sequence), handle, callback))
         return handle
 
@@ -91,20 +246,124 @@ class SimulationEngine:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.schedule(self._now + delay, callback)
 
+    def post(self, time: float, callback: EventCallback) -> None:
+        """Schedule an *uncancellable* event at absolute ``time`` seconds.
+
+        Fire-and-forget: no :class:`EventHandle` is allocated, which makes
+        this the cheapest way to preload bulk events (e.g. trace arrivals)
+        that nothing will ever cancel.
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), None, callback))
+
+    def timer(self, callback: EventCallback) -> ReusableTimer:
+        """A dormant :class:`ReusableTimer` firing ``callback``."""
+        return ReusableTimer(self, callback)
+
     def peek_time(self) -> Optional[float]:
         """Seconds timestamp of the next live event, or ``None`` if
         drained."""
-        self._drop_cancelled_head()
-        if not self._queue:
+        head = self._fix_head()
+        if head is None:
             return None
-        return self._queue[0][0]
+        return head[0]
 
     def step(self) -> bool:
         """Process one event. Returns False when the queue is drained."""
-        self._drop_cancelled_head()
-        if not self._queue:
+        head = self._fix_head()
+        if head is None:
             return False
-        time, _seq, handle, callback = heapq.heappop(self._queue)
+        heapq.heappop(self._queue)
+        self._dispatch(head)
+        return True
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: Stop once the next event would be strictly after this
+                time; the clock is advanced to ``until``.
+            max_events: Safety valve against runaway feedback loops. The
+                budget is checked *before* each event: exactly
+                ``max_events`` events run, then the engine raises without
+                processing the ``max_events + 1``-th.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not re-entrant")
+        self._running = True
+        # The loop body inlines step() and the common live-event case of
+        # _fix_head()/_dispatch(): the head is normalised once per
+        # iteration (peek_time + step would sweep dead entries twice) and
+        # popped straight into its callback with no helper calls.
+        queue = self._queue
+        heappop = heapq.heappop
+        try:
+            processed = 0
+            while queue:
+                head = queue[0]
+                handle = head[2]
+                if handle is not None and (
+                    type(handle) is not EventHandle or handle._cancelled
+                ):
+                    head = self._fix_head()  # slow path: dead entry / timer
+                    if head is None:
+                        break
+                    handle = head[2]
+                time = head[0]
+                if until is not None and time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                heappop(queue)
+                if type(handle) is ReusableTimer:
+                    handle._deadline = None
+                    handle._entry_time = None
+                    callback = handle._callback
+                else:
+                    if handle is not None:
+                        handle._engine = None  # a late cancel() is a no-op
+                    callback = head[3]
+                self._now = time
+                self._events_processed += 1
+                try:
+                    callback()
+                except SimulationError:
+                    raise  # already carries simulation context
+                except Exception as exc:
+                    raise SimulationError(
+                        f"event callback {callback!r} failed at t={time:.6g}s "
+                        f"(event #{self._events_processed}): {exc}"
+                    ) from exc
+                processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    # -- internals ------------------------------------------------------
+
+    def _dispatch(self, head: _QueueEntry) -> None:
+        """Fire one already-popped live entry."""
+        time = head[0]
+        handle = head[2]
+        if type(handle) is ReusableTimer:
+            handle._deadline = None
+            handle._entry_time = None
+            callback = handle._callback
+        else:
+            if handle is not None:
+                handle._engine = None  # a late cancel() is now a no-op
+            callback = head[3]
         self._now = time
         self._events_processed += 1
         try:
@@ -116,40 +375,76 @@ class SimulationEngine:
                 f"event callback {callback!r} failed at t={time:.6g}s "
                 f"(event #{self._events_processed}): {exc}"
             ) from exc
-        return True
 
-    def run(
-        self, until: Optional[float] = None, max_events: Optional[int] = None
-    ) -> None:
-        """Drain the event queue.
-
-        Args:
-            until: Stop once the next event would be strictly after this
-                time; the clock is advanced to ``until``.
-            max_events: Safety valve against runaway feedback loops.
-        """
-        if self._running:
-            raise SimulationError("engine.run() is not re-entrant")
-        self._running = True
-        try:
-            processed = 0
-            while True:
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                if max_events is not None and processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway event loop?"
+    def _fix_head(self) -> Optional[_QueueEntry]:
+        """Normalise the heap head: drop dead entries, migrate stale
+        timer entries to their current deadline, and return the live head
+        (or ``None`` when drained)."""
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while queue:
+            head = queue[0]
+            handle = head[2]
+            if handle is None:  # posted events are always live
+                return head
+            if type(handle) is ReusableTimer:
+                if head[3] != handle._generation:
+                    heappop(queue)
+                    self._cancelled_pending -= 1
+                    continue
+                deadline = handle._deadline
+                if deadline is None:
+                    heappop(queue)
+                    self._cancelled_pending -= 1
+                    handle._entry_time = None
+                    continue
+                if deadline > head[0]:
+                    # Re-armed later while in flight: migrate the entry.
+                    heappop(queue)
+                    heappush(
+                        queue,
+                        (deadline, next(self._sequence), handle, head[3]),
                     )
-                self.step()
-                processed += 1
-            if until is not None and until > self._now:
-                self._now = until
-        finally:
-            self._running = False
+                    handle._entry_time = deadline
+                    continue
+            elif handle._cancelled:
+                heappop(queue)
+                self._cancelled_pending -= 1
+                continue
+            return head
+        return None
 
-    def _drop_cancelled_head(self) -> None:
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+    def _note_cancel(self) -> None:
+        """Account one newly-dead heap entry; compact when they pile up."""
+        self._cancelled_pending += 1
+        threshold = self._compaction_threshold
+        if (
+            threshold is not None
+            and len(self._queue) >= self._compaction_min_size
+            and self._cancelled_pending >= threshold * len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every dead entry and re-heapify, in place.
+
+        Removal cannot reorder live events: pop order is the total order
+        ``(time, sequence)``, which is independent of heap layout. The
+        sweep mutates ``self._queue`` in place because ``run()`` holds a
+        local alias to the list.
+        """
+        live: List[_QueueEntry] = []
+        for entry in self._queue:
+            handle = entry[2]
+            if type(handle) is ReusableTimer:
+                if entry[3] == handle._generation and handle._deadline is not None:
+                    live.append(entry)
+                elif entry[3] == handle._generation:
+                    handle._entry_time = None
+            elif handle is None or not handle._cancelled:
+                live.append(entry)
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self._compactions += 1

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import BatchScheduler, OnlineScheduler, Scheduler
 from repro.disk.drive import SimulatedDisk
-from repro.errors import SchedulingError, SimulationError
+from repro.errors import PlacementError, SchedulingError, SimulationError
 from repro.faults.health import DiskHealth
 from repro.faults.injector import FaultInjector
 from repro.placement.catalog import PlacementCatalog
@@ -49,7 +49,15 @@ class StorageSystem:
                 "run_offline() for offline schedulers"
             )
         self._catalog = catalog
+        # data_id -> locations tuple, resolved once: per-request placement
+        # lookups are one dict access instead of a catalog method call.
+        self._locations_by_data = catalog.mapping()
         self._scheduler = scheduler
+        # Narrowed alias: _admit runs per arrival and should not pay an
+        # ABC isinstance check each time.
+        self._online_scheduler: Optional[OnlineScheduler] = (
+            scheduler if isinstance(scheduler, OnlineScheduler) else None
+        )
         self._config = config
         self._engine = SimulationEngine()
         self._metrics = MetricsCollector()
@@ -104,21 +112,27 @@ class StorageSystem:
 
     def locations(self, data_id: DataId) -> Tuple[DiskId, ...]:
         """Placement lookup (SystemView protocol)."""
-        return self._catalog.locations(data_id)
+        try:
+            return self._locations_by_data[data_id]
+        except KeyError:
+            raise PlacementError(f"unknown data id {data_id}")
 
     def available_locations(self, data_id: DataId) -> Tuple[DiskId, ...]:
         """Replicas currently able to service requests (SystemView).
 
-        Identical to :meth:`locations` on no-fault runs; with fault
+        Identical to :meth:`locations` on no-fault runs — the precomputed
+        placement tuple is returned as-is, nothing is rebuilt. With fault
         injection active, down and failed disks are filtered out.
         """
-        locations = self._catalog.locations(data_id)
         if self._faults is None:
-            return locations
-        return tuple(
-            disk_id
-            for disk_id in locations
-            if self._disks[disk_id].is_available
+            try:
+                return self._locations_by_data[data_id]
+            except KeyError:
+                raise PlacementError(f"unknown data id {data_id}")
+        locations = self.locations(data_id)
+        disks = self._disks
+        return tuple(  # reprolint: disable=RPL007 -- fault path only
+            disk_id for disk_id in locations if disks[disk_id].is_available
         )
 
     # -- driving the run -------------------------------------------------
@@ -131,7 +145,9 @@ class StorageSystem:
         ordered = sorted(requests)
         self._offered = len(ordered)
         for request in ordered:
-            self._engine.schedule(request.time, _Arrival(self, request))
+            # Arrivals are never cancelled: post() skips the per-event
+            # EventHandle allocation for the whole preloaded trace.
+            self._engine.post(request.time, _Arrival(self, request))
         last_arrival = ordered[-1].time if ordered else 0.0
         horizon = self._config.derived_horizon(last_arrival)
         if self._faults is not None:
@@ -187,9 +203,9 @@ class StorageSystem:
         ):
             self._defer_or_lose(request)
             return
-        if isinstance(self._scheduler, OnlineScheduler):
-            disk_id = self._scheduler.choose(request, self)
-            self._dispatch(request, disk_id)
+        online = self._online_scheduler
+        if online is not None:
+            self._dispatch(request, online.choose(request, self))
         else:
             self._batch_buffer.append(request)
             self._ensure_tick()
@@ -235,8 +251,8 @@ class StorageSystem:
             raise SchedulingError(f"scheduler chose unknown disk {disk_id}")
         # Reads must land on a replica; off-loaded writes may go anywhere
         # (the write off-loading liberty, Section 2.1).
-        if request.op is OpKind.READ and disk_id not in self._catalog.locations(
-            request.data_id
+        if request.op is OpKind.READ and disk_id not in self._locations_by_data.get(
+            request.data_id, ()
         ):
             raise SchedulingError(
                 f"scheduler sent request {request.request_id} to disk {disk_id}, "

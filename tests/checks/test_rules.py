@@ -352,6 +352,80 @@ def test_rpl006_accepts_broad_except_with_reraise():
     assert "RPL006" not in codes(RPL006_PASS_RERAISE)
 
 
+# ---------------------------------------------------------------- RPL007
+
+HOT_PATH = "src/repro/sim/fixture.py"
+
+RPL007_FAIL_LISTCOMP = """
+def choose(self, request, view):
+    candidates = [d for d in view.locations(request.data_id)]
+    return candidates[0]
+"""
+
+RPL007_FAIL_TUPLE_GENEXP = """
+def available_locations(self, data_id):
+    disks = self._disks
+    return tuple(d for d in self._all if disks[d].is_available)
+"""
+
+RPL007_PASS_COLD_FUNCTION = """
+def summarise(self):
+    return [d for d in self._disks]
+"""
+
+RPL007_PASS_PLAIN_GENEXP = """
+def cost(self, disk, now):
+    return sum(weight for weight in self._weights)
+"""
+
+RPL007_PASS_PRAGMA = """
+def available_locations(self, data_id):
+    disks = self._disks
+    return tuple(  # reprolint: disable=RPL007 -- fault path only
+        d for d in self._all if disks[d].is_available
+    )
+"""
+
+
+def lint_hot(snippet: str) -> list:
+    """Lint a snippet as if it lived in the simulation core."""
+    return check_source(textwrap.dedent(snippet), path=HOT_PATH)
+
+
+def test_rpl007_flags_list_comprehension_in_hot_function():
+    violations = [v for v in lint_hot(RPL007_FAIL_LISTCOMP) if v.code == "RPL007"]
+    assert violations and "choose" in violations[0].message
+
+
+def test_rpl007_flags_materialised_genexp_at_the_call_line():
+    violations = [
+        v for v in lint_hot(RPL007_FAIL_TUPLE_GENEXP) if v.code == "RPL007"
+    ]
+    # Reported once, anchored at the tuple(...) call so a line pragma works.
+    assert len(violations) == 1
+    assert violations[0].line == 4
+    assert "tuple" in violations[0].message
+
+
+def test_rpl007_ignores_cold_functions():
+    assert all(v.code != "RPL007" for v in lint_hot(RPL007_PASS_COLD_FUNCTION))
+
+
+def test_rpl007_ignores_unmaterialised_generators():
+    assert all(v.code != "RPL007" for v in lint_hot(RPL007_PASS_PLAIN_GENEXP))
+
+
+def test_rpl007_out_of_scope_module_is_exempt():
+    violations = check_source(
+        textwrap.dedent(RPL007_FAIL_LISTCOMP), path="src/repro/analysis/agg.py"
+    )
+    assert all(v.code != "RPL007" for v in violations)
+
+
+def test_rpl007_pragma_waives_the_call_line():
+    assert all(v.code != "RPL007" for v in lint_hot(RPL007_PASS_PRAGMA))
+
+
 # ---------------------------------------------------------------- catalogue
 
 
@@ -366,6 +440,7 @@ def test_every_rule_has_a_failing_fixture():
         "RPL004",
         "RPL005",
         "RPL006",
+        "RPL007",
     }
     assert {rule.code for rule in all_rules()} == exercised
 

@@ -173,3 +173,236 @@ def test_run_not_reentrant():
     engine.schedule(1.0, recurse)
     engine.run()
     assert error and "re-entrant" in error[0]
+
+
+# -- pending_events / queue_depth ------------------------------------------
+
+
+def test_pending_events_counts_only_live_events():
+    engine = SimulationEngine()
+    keep = engine.schedule(1.0, lambda: None)
+    dead = engine.schedule(2.0, lambda: None)
+    dead.cancel()
+    assert engine.pending_events == 1
+    assert engine.queue_depth == 2
+    keep.cancel()
+    assert engine.pending_events == 0
+    assert engine.queue_depth == 2
+
+
+def test_pending_events_counts_armed_timer_once():
+    engine = SimulationEngine()
+    timer = engine.timer(lambda: None)
+    timer.schedule_at(5.0)
+    assert engine.pending_events == 1
+    timer.schedule_at(9.0)  # re-arm later: same single heap entry
+    assert engine.pending_events == 1
+    timer.cancel()
+    assert engine.pending_events == 0
+    assert engine.queue_depth == 1  # dormant entry awaits reuse
+
+
+def test_double_cancel_counts_once():
+    engine = SimulationEngine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert engine.pending_events == 1
+
+
+# -- max_events budget ------------------------------------------------------
+
+
+def test_max_events_allows_exactly_the_budget():
+    engine = SimulationEngine()
+    fired = []
+    for t in range(3):
+        engine.schedule(float(t), lambda t=t: fired.append(t))
+    engine.run(max_events=3)  # drains exactly at the budget: no error
+    assert fired == [0, 1, 2]
+
+
+def test_max_events_raises_before_the_budget_plus_one():
+    engine = SimulationEngine()
+    fired = []
+    for t in range(4):
+        engine.schedule(float(t), lambda t=t: fired.append(t))
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=3)
+    # The 4th event was never processed; the clock stopped at the 3rd.
+    assert fired == [0, 1, 2]
+    assert engine.events_processed == 3
+    assert engine.now == 2.0
+
+
+def test_max_events_ignores_cancelled_entries():
+    engine = SimulationEngine()
+    handles = [engine.schedule(float(t), lambda: None) for t in range(5)]
+    for handle in handles[:4]:
+        handle.cancel()
+    engine.run(max_events=1)  # one live event left: exactly on budget
+    assert engine.events_processed == 1
+
+
+# -- post() -----------------------------------------------------------------
+
+
+def test_post_fires_in_order_with_scheduled_events():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(2.0, lambda: fired.append("handle"))
+    engine.post(1.0, lambda: fired.append("posted-early"))
+    engine.post(2.0, lambda: fired.append("posted-tie"))
+    engine.run()
+    # Ties at t=2.0 break by insertion order: schedule() came first.
+    assert fired == ["posted-early", "handle", "posted-tie"]
+
+
+def test_post_rejects_past_times():
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.post(1.0, lambda: None)
+
+
+def test_posted_events_survive_compaction():
+    engine = SimulationEngine(compaction_min_size=4, compaction_threshold=0.25)
+    fired = []
+    for t in range(8):
+        engine.post(float(t), lambda t=t: fired.append(t))
+    doomed = [engine.schedule(10.0 + t, lambda: None) for t in range(8)]
+    for handle in doomed:
+        handle.cancel()
+    assert engine.compactions >= 1
+    assert engine.pending_events == 8
+    engine.run()
+    assert fired == list(range(8))
+
+
+# -- ReusableTimer ----------------------------------------------------------
+
+
+def test_timer_fires_at_deadline():
+    engine = SimulationEngine()
+    fired = []
+    timer = engine.timer(lambda: fired.append(engine.now))
+    timer.schedule_at(3.0)
+    assert timer.armed and timer.deadline == 3.0
+    engine.run()
+    assert fired == [3.0]
+    assert not timer.armed
+
+
+def test_timer_rearm_later_fires_once_at_new_deadline():
+    engine = SimulationEngine()
+    fired = []
+    timer = engine.timer(lambda: fired.append(engine.now))
+    timer.schedule_at(2.0)
+    timer.schedule_at(7.0)  # moves forward without a new heap entry
+    assert engine.queue_depth == 1
+    engine.run()
+    assert fired == [7.0]
+    assert engine.events_processed == 1
+
+
+def test_timer_rearm_earlier_fires_at_new_deadline():
+    engine = SimulationEngine()
+    fired = []
+    timer = engine.timer(lambda: fired.append(engine.now))
+    timer.schedule_at(9.0)
+    timer.schedule_at(1.0)  # earlier: abandons the old entry
+    engine.run()
+    assert fired == [1.0]
+    assert engine.events_processed == 1
+
+
+def test_timer_cancel_then_rearm_reuses_the_entry():
+    engine = SimulationEngine()
+    fired = []
+    timer = engine.timer(lambda: fired.append(engine.now))
+    timer.schedule_at(2.0)
+    timer.cancel()
+    assert engine.pending_events == 0
+    timer.schedule_at(4.0)  # resurrects the dormant in-heap entry
+    assert engine.pending_events == 1
+    assert engine.queue_depth == 1
+    engine.run()
+    assert fired == [4.0]
+
+
+def test_timer_cancelled_never_fires():
+    engine = SimulationEngine()
+    fired = []
+    timer = engine.timer(lambda: fired.append("timer"))
+    timer.schedule_at(2.0)
+    engine.schedule(1.0, timer.cancel)
+    engine.run()
+    assert fired == []
+    assert engine.events_processed == 1
+
+
+def test_timer_refire_after_firing():
+    engine = SimulationEngine()
+    fired = []
+
+    def tick():
+        fired.append(engine.now)
+        if engine.now < 3.0:
+            timer.schedule_after(1.0)
+
+    timer = engine.timer(tick)
+    timer.schedule_at(1.0)
+    engine.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_timer_rejects_past_deadline():
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    timer = engine.timer(lambda: None)
+    with pytest.raises(SimulationError):
+        timer.schedule_at(1.0)
+    with pytest.raises(SimulationError):
+        timer.schedule_after(-0.5)
+
+
+def test_timer_ties_respect_insertion_order():
+    engine = SimulationEngine()
+    fired = []
+    timer = engine.timer(lambda: fired.append("timer"))
+    timer.schedule_at(2.0)
+    engine.schedule(2.0, lambda: fired.append("event"))
+    engine.run()
+    assert fired == ["timer", "event"]
+
+
+# -- compaction -------------------------------------------------------------
+
+
+def test_compaction_threshold_validation():
+    with pytest.raises(SimulationError):
+        SimulationEngine(compaction_threshold=0.0)
+    with pytest.raises(SimulationError):
+        SimulationEngine(compaction_threshold=1.5)
+    SimulationEngine(compaction_threshold=None)  # disabled is allowed
+
+
+def test_compaction_bounds_heap_under_cancel_churn():
+    engine = SimulationEngine(compaction_min_size=16)
+    for _ in range(2000):
+        engine.schedule(100.0, lambda: None).cancel()
+        assert engine.queue_depth <= 64
+    assert engine.compactions > 0
+    assert engine.pending_events == 0
+
+
+def test_compaction_disabled_lets_dead_entries_pile_up():
+    engine = SimulationEngine(compaction_threshold=None)
+    for _ in range(100):
+        engine.schedule(100.0, lambda: None).cancel()
+    assert engine.queue_depth == 100
+    assert engine.compactions == 0
+    assert engine.pending_events == 0

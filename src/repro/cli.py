@@ -13,8 +13,15 @@ Subcommands:
 * ``bench`` — run a figure/ablation through the parallel experiment
   harness and write a schema-versioned ``BENCH_<id>.json`` trajectory
   document (see :mod:`repro.experiments.harness.bench`).
+* ``serve`` — run the async scheduling service under generated load and
+  write a ``SERVE_<policy>.json`` session document
+  (see :mod:`repro.serve`).
 * ``lint`` — run reprolint, the domain-aware static-analysis pass
   (see :mod:`repro.checks`).
+
+Every subcommand handler returns an explicit ``int`` exit status which
+:func:`main` propagates unchanged — ``0`` success, ``1`` domain error,
+``2`` usage error.
 """
 
 from __future__ import annotations
@@ -135,6 +142,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing BENCH_*.json instead of running",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async scheduling service under generated load",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("online", "micro-batch", "both"),
+        default="both",
+        help="dispatch policy ('both' runs one session per policy)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=2_000, help="requests to generate"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=100.0, help="mean arrivals/second"
+    )
+    serve.add_argument("--clients", type=int, default=8)
+    serve.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson"
+    )
+    serve.add_argument(
+        "--loop",
+        choices=("open", "closed"),
+        default="open",
+        help="open loop fires at fixed instants; closed loop waits for "
+        "responses",
+    )
+    serve.add_argument(
+        "--window", type=float, default=1.0, help="micro-batch window (s)"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="cap requests per window tick (default: whole queue)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1_024,
+        help="bounded ingress capacity (backpressure)",
+    )
+    serve.add_argument(
+        "--client-rate",
+        type=float,
+        default=None,
+        help="per-client token-bucket rate (requests/s; default unlimited)",
+    )
+    serve.add_argument("--disks", type=int, default=18)
+    serve.add_argument("--replication", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=2.0,
+        help="seconds before the final forced flush at shutdown",
+    )
+    serve.add_argument(
+        "--wall",
+        action="store_true",
+        help="run on the wall clock instead of the deterministic "
+        "virtual clock",
+    )
+    serve.add_argument("--output-dir", default=".")
+
     lint = sub.add_parser(
         "lint", help="run reprolint (domain-aware static analysis)"
     )
@@ -144,31 +216,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Every handler returns its own explicit status; this function only
+    dispatches and maps :class:`ReproError` to exit code 1.
+    """
     args = build_parser().parse_args(argv)
+    handlers = {
+        "profile": _run_profile,
+        "figure": _run_figure,
+        "simulate": _run_simulate,
+        "compare": _run_compare,
+        "headline": _run_headline,
+        "bench": _run_bench,
+        "serve": _run_serve,
+        "lint": run_lint_args,
+    }
     try:
-        if args.command == "profile":
-            return _run_profile(args)
-        elif args.command == "figure":
-            _print_figure(args.figure_id)
-        elif args.command == "simulate":
-            _run_simulate(args)
-        elif args.command == "compare":
-            _run_compare(args)
-        elif args.command == "headline":
-            print(headline_claims(args.trace).render())
-        elif args.command == "bench":
-            return _run_bench(args)
-        elif args.command == "lint":
-            return run_lint_args(args)
+        return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
 
 
-def _print_figure(figure_id: str) -> None:
-    result = run_figure(figure_id)
+def _run_figure(args: argparse.Namespace) -> int:
+    result = run_figure(args.figure_id)
     if isinstance(result, str):
         print(result)
     elif isinstance(result, dict):
@@ -181,6 +253,12 @@ def _print_figure(figure_id: str) -> None:
             print()
     else:
         print(result.render())
+    return 0
+
+
+def _run_headline(args: argparse.Namespace) -> int:
+    print(headline_claims(args.trace).render())
+    return 0
 
 
 def _run_profile(args: argparse.Namespace) -> int:
@@ -256,7 +334,77 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_simulate(args: argparse.Namespace) -> None:
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run one serving session per requested policy, write the reports."""
+    # Imported lazily: the serving stack is only needed here.
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve import (
+        LoadgenConfig,
+        SchedulingService,
+        ServiceConfig,
+        run_load,
+        serve_document,
+        virtual_run,
+        write_serve_document,
+    )
+
+    policies = (
+        ("online", "micro-batch") if args.policy == "both" else (args.policy,)
+    )
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for policy in policies:
+        service = SchedulingService(
+            ServiceConfig(
+                policy=policy,
+                num_disks=args.disks,
+                replication_factor=args.replication,
+                seed=args.seed,
+                queue_limit=args.queue_limit,
+                client_rate_per_s=args.client_rate,
+                window_s=args.window,
+                max_batch=args.max_batch,
+            )
+        )
+        load = LoadgenConfig(
+            num_requests=args.requests,
+            rate_per_s=args.rate,
+            num_clients=args.clients,
+            arrival=args.arrival,
+            loop=args.loop,
+            seed=args.seed,
+        )
+
+        async def session() -> None:
+            result = await run_load(service, load, drain_grace_s=args.drain_grace)
+            document = serve_document(
+                service, load, result, virtual_clock=not args.wall
+            )
+            name = policy.replace("-", "_")
+            path = write_serve_document(
+                document, output_dir / f"SERVE_{name}.json"
+            )
+            metrics = document["result"]["metrics"]
+            response = metrics["histograms"]["response_s"]
+            print(f"wrote {path}")
+            print(
+                f"  {policy}: {result.completed}/{result.offered} completed, "
+                f"{result.rejected} rejected, "
+                f"{metrics['gauges']['energy.joules']:.0f} J, "
+                f"p95 {response['p95']:.3f}s, "
+                f"{document['wall_clock_s']:.1f} virtual s"
+            )
+
+        if args.wall:
+            asyncio.run(session())
+        else:
+            virtual_run(session())
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
     result = common.run_cell(
         args.trace,
         args.replication,
@@ -268,9 +416,10 @@ def _run_simulate(args: argparse.Namespace) -> None:
     )
     print(result.report.summary())
     print(f"normalized energy    : {result.normalized_energy:.3f} (vs always-on)")
+    return 0
 
 
-def _run_compare(args: argparse.Namespace) -> None:
+def _run_compare(args: argparse.Namespace) -> int:
     rows = []
     for key in ("static", "random", "heuristic", "wsc", "mwis"):
         result = common.run_cell(args.trace, args.replication, key)
@@ -291,6 +440,7 @@ def _run_compare(args: argparse.Namespace) -> None:
             title=f"{args.trace} trace, replication {args.replication}",
         )
     )
+    return 0
 
 
 if __name__ == "__main__":

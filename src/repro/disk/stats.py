@@ -128,6 +128,21 @@ class DiskStats:
             + self._lump_energy
         )
 
+    def energy_at(self, now: float) -> float:
+        """Joules up to ``now``, the open state interval included.
+
+        The :attr:`energy` property only integrates *closed* intervals;
+        a live reader (the serving layer's energy gauge) also wants the
+        time accrued in the current state. On a finalised ledger this is
+        exactly :attr:`energy`.
+        """
+        if self._closed or now <= self._state_since:
+            return self.energy
+        open_interval = self.profile.power(self._current_state) * (
+            now - self._state_since
+        )
+        return self.energy + open_interval
+
     _lump_energy: float = 0.0
 
     @property

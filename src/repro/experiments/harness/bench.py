@@ -56,6 +56,7 @@ from repro.experiments.harness.runner import SweepOutcome, SweepRunner
 from repro.experiments.harness.schema import BENCH_SCHEMA, validate_bench_payload
 from repro.experiments.harness.spec import RunSpec, baseline_of, cell_spec
 from repro.experiments.headline import headline_claims
+from repro.experiments.serve_sweep import run_serve_sweep
 
 ALL_KEYS = ("random", "static", "heuristic", "wsc", "mwis")
 ONLINE_KEYS = ("random", "static", "heuristic", "wsc")
@@ -307,6 +308,13 @@ def _fault_sweep_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
     return _ablation_result_payload(run_fault_sweep(scale)), 0
 
 
+def _serve_sweep_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
+    # Serve cells run live (no run cache); their engine events are the
+    # bench's event count.
+    result = run_serve_sweep(scale)
+    return _ablation_result_payload(result), result.events_processed
+
+
 def _build_registry() -> Dict[str, BenchDefinition]:
     registry: Dict[str, BenchDefinition] = {}
 
@@ -373,6 +381,12 @@ def _build_registry() -> Dict[str, BenchDefinition]:
         "availability vs failure rate (cello, rf=3)",
         _fault_sweep_specs,
         _fault_sweep_result,
+    )
+    add(
+        "serve_sweep",
+        "live serving: online vs micro-batch across arrival rates",
+        _no_specs,
+        _serve_sweep_result,
     )
     for ablation_id in ABLATIONS:
         add(

@@ -1,0 +1,190 @@
+"""Admission control: typed outcomes, token buckets, bounded ingress.
+
+Overload handling is a first-class result, not an exception: every
+submitted request resolves to either a :class:`Completed` or a
+:class:`Rejected` value, so callers (and the load generator) can count
+shed load without try/except plumbing and the service never grows an
+unbounded queue — the paper's serving-layer reading of the batch/online
+trade-off only makes sense once ingress is bounded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.types import DataId, DiskId, RequestId
+
+
+class RejectReason(enum.Enum):
+    """Why a request was shed instead of scheduled."""
+
+    #: The bounded ingress queue is at capacity (backpressure).
+    QUEUE_FULL = "queue_full"
+    #: The client exhausted its token bucket.
+    RATE_LIMITED = "rate_limited"
+    #: The service is draining; no new work is accepted.
+    SHUTTING_DOWN = "shutting_down"
+
+
+@dataclass(frozen=True)
+class Completed:
+    """A request that was scheduled and serviced by a disk.
+
+    Attributes:
+        request_id: Stream position assigned at admission.
+        client_id: Submitting client.
+        data_id: Requested data item.
+        disk_id: Replica that serviced the request.
+        arrival_s: Service-clock arrival instant in seconds.
+        completed_s: Service-clock completion instant in seconds.
+    """
+
+    request_id: RequestId
+    client_id: str
+    data_id: DataId
+    disk_id: DiskId
+    arrival_s: float
+    completed_s: float
+
+    @property
+    def accepted(self) -> bool:
+        return True
+
+    @property
+    def response_time_s(self) -> float:
+        """Queueing + service latency in seconds."""
+        return self.completed_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """A request shed at admission (never reached a scheduler).
+
+    Attributes:
+        client_id: Submitting client.
+        data_id: Requested data item.
+        reason: Which admission gate shed it.
+        rejected_s: Service-clock rejection instant in seconds.
+    """
+
+    client_id: str
+    data_id: DataId
+    reason: RejectReason
+    rejected_s: float
+
+    @property
+    def accepted(self) -> bool:
+        return False
+
+
+#: Every submit resolves to exactly one of these.
+Outcome = Union[Completed, Rejected]
+
+
+class TokenBucket:
+    """Deterministic token bucket (refill derived from timestamps).
+
+    No background task refills the bucket; the token balance is a pure
+    function of the last-acquire timestamp, so behaviour is identical
+    under the virtual and the wall clock.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "_tokens", "_updated_s")
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0:
+            raise ConfigurationError(
+                f"token rate must be positive, got {rate_per_s}"
+            )
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1 token, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = burst
+        self._updated_s = 0.0
+
+    def _refill(self, now_s: float) -> None:
+        if now_s > self._updated_s:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now_s - self._updated_s) * self.rate_per_s,
+            )
+            self._updated_s = now_s
+
+    def available(self, now_s: float) -> float:
+        """Token balance at ``now_s`` (peek; does not consume)."""
+        self._refill(now_s)
+        return self._tokens
+
+    def try_acquire(self, now_s: float, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if the balance allows it."""
+        if cost <= 0:
+            raise ConfigurationError(f"token cost must be positive, got {cost}")
+        self._refill(now_s)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+
+class AdmissionController:
+    """Bounded-queue backpressure plus per-client token-bucket limiting.
+
+    Gate order: the queue bound is checked first (a full queue rejects
+    without charging the client's bucket), then the client's bucket.
+    ``client_rate_per_s = None`` disables rate limiting entirely.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int,
+        client_rate_per_s: Optional[float] = None,
+        client_burst: float = 8.0,
+    ):
+        if queue_limit <= 0:
+            raise ConfigurationError(
+                f"queue_limit must be positive, got {queue_limit}"
+            )
+        self.queue_limit = queue_limit
+        self.client_rate_per_s = client_rate_per_s
+        self.client_burst = client_burst
+        self._buckets: Dict[str, TokenBucket] = {}
+        if client_rate_per_s is not None:
+            # Validate eagerly so a bad config fails at construction,
+            # not on the first admit.
+            TokenBucket(client_rate_per_s, client_burst)
+
+    def bucket(self, client_id: str) -> Optional[TokenBucket]:
+        """The client's bucket (created on first use; None when unlimited)."""
+        if self.client_rate_per_s is None:
+            return None
+        existing = self._buckets.get(client_id)
+        if existing is None:
+            existing = self._buckets[client_id] = TokenBucket(
+                self.client_rate_per_s, self.client_burst
+            )
+        return existing
+
+    def admit(
+        self, client_id: str, now_s: float, queue_depth: int
+    ) -> Optional[RejectReason]:
+        """``None`` to admit, or the :class:`RejectReason` to shed."""
+        if queue_depth >= self.queue_limit:
+            return RejectReason.QUEUE_FULL
+        bucket = self.bucket(client_id)
+        if bucket is not None and not bucket.try_acquire(now_s):
+            return RejectReason.RATE_LIMITED
+        return None
+
+
+__all__ = [
+    "AdmissionController",
+    "Completed",
+    "Outcome",
+    "Rejected",
+    "RejectReason",
+    "TokenBucket",
+]

@@ -1,10 +1,248 @@
-"""Backwards-compatible alias: metrics live in :mod:`repro.report`.
+"""Shared metrics primitives: counters, gauges, histograms, registry.
 
-Kept so ``repro.sim.metrics`` imports keep working; the classes moved to a
-top-level module to keep :mod:`repro.core` free of any dependency on the
-:mod:`repro.sim` package (no import cycles).
+Two layers live here:
+
+* The *trace-replay* metrics — :class:`~repro.report.MetricsCollector`,
+  :class:`~repro.report.SimulationReport` and
+  :func:`~repro.report.percentile` — are re-exported from
+  :mod:`repro.report` (they moved there to keep :mod:`repro.core` free of
+  any dependency on :mod:`repro.sim`).
+* The *live-service* metrics primitives defined below —
+  :class:`Counter`, :class:`Gauge`, :class:`Histogram` and
+  :class:`MetricsRegistry` — are shared by the discrete-event engine
+  (via :func:`observe_engine`) and the serving layer
+  (:mod:`repro.serve`), so there is exactly one implementation of
+  "count / point-in-time value / latency distribution" in the repo.
+
+Everything is deterministic: a registry snapshot is a plain sorted dict
+of exact values (no wall-clock reads, no rounding), so two identical
+runs under the virtual clock serialise byte-identically.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+
+from repro.errors import ConfigurationError
 from repro.report import MetricsCollector, SimulationReport, percentile
 
-__all__ = ["MetricsCollector", "SimulationReport", "percentile"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports nothing from here)
+    from repro.sim.engine import SimulationEngine
+
+Number = Union[int, float]
+
+#: Histogram quantiles reported by :meth:`Histogram.snapshot`, as
+#: ``(label, fraction)`` pairs — the p50/p95/p99 the serving layer plots.
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+class Counter:
+    """A monotonically non-decreasing event count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) events."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, joules so far, ...)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge with the latest observed value."""
+        self._value = value
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """An exact value distribution (response times, batch sizes).
+
+    Samples are kept verbatim — the evaluation sizes (tens of thousands
+    of requests) make exact quantiles affordable, and exactness is what
+    keeps snapshots byte-reproducible across identical runs.
+    """
+
+    __slots__ = ("name", "_samples", "_total", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+        self._total = 0.0
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples (same unit as the samples)."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Mean sample (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return self._total / len(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return percentile(self._ascending(), fraction)
+
+    def _ascending(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Count, total, mean, min/max and the standard quantiles."""
+        out: Dict[str, Number] = {
+            "count": self.count,
+            "total": self._total,
+            "mean": self.mean,
+        }
+        if self._samples:
+            ascending = self._ascending()
+            out["min"] = ascending[0]
+            out["max"] = ascending[-1]
+            for label, fraction in QUANTILES:
+                out[label] = percentile(ascending, fraction)
+        else:
+            out["min"] = 0.0
+            out["max"] = 0.0
+            for label, _fraction in QUANTILES:
+                out[label] = 0.0
+        return out
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with a deterministic snapshot.
+
+    Names are namespaced by convention (``requests.completed``,
+    ``engine.events_processed``); registering one name under two
+    different metric kinds is an error.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_unique(name, "counter")
+            existing = self._counters[name] = Counter(name)
+        return existing
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._check_unique(name, "gauge")
+            existing = self._gauges[name] = Gauge(name)
+        return existing
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram called ``name``."""
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_unique(name, "histogram")
+            existing = self._histograms[name] = Histogram(name)
+        return existing
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as a JSON-ready dict, names sorted.
+
+        The shape is stable: ``{"counters": {...}, "gauges": {...},
+        "histograms": {name: {count, total, mean, min, max, p50, ...}}}``.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: dict(self._histograms[name].snapshot())
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+def observe_engine(registry: MetricsRegistry, engine: "SimulationEngine") -> None:
+    """Mirror the engine's own counters into ``registry`` gauges.
+
+    Gauges (not counters) because the engine already owns the running
+    totals; the registry records their point-in-time values at snapshot.
+    """
+    registry.gauge("engine.events_processed").set(engine.events_processed)
+    registry.gauge("engine.pending_events").set(engine.pending_events)
+    registry.gauge("engine.queue_depth").set(engine.queue_depth)
+    registry.gauge("engine.compactions").set(engine.compactions)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "Number",
+    "QUANTILES",
+    "SimulationReport",
+    "observe_engine",
+    "percentile",
+]

@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments import common
+from repro.experiments.harness.schema import validate_bench_file
 
 
 @pytest.fixture(autouse=True)
@@ -28,6 +31,17 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.policy == "both"
+        assert args.requests == 2000
+        assert args.arrival == "poisson"
+        assert not args.wall
+
+    def test_serve_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "clairvoyant"])
 
 
 class TestCommands:
@@ -62,3 +76,77 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "up to 55%" in out
         assert "measured" in out
+
+    def test_serve_writes_valid_reports_for_both_policies(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "serve",
+                "--requests",
+                "120",
+                "--rate",
+                "60",
+                "--disks",
+                "6",
+                "--replication",
+                "2",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("SERVE_online.json", "SERVE_micro_batch.json"):
+            path = tmp_path / name
+            assert path.is_file()
+            assert validate_bench_file(path) == []
+            document = json.loads(path.read_text())
+            assert document["result"]["outcome"]["completed"] == 120
+            # Virtual-clock runs must be free of wall-clock fields.
+            assert document["created_unix"] == 0.0
+            assert document["peak_rss_bytes"] is None
+        assert "online" in out and "micro-batch" in out
+
+    def test_serve_single_policy_is_deterministic(self, tmp_path):
+        first_dir = tmp_path / "first"
+        second_dir = tmp_path / "second"
+        for out_dir in (first_dir, second_dir):
+            code = main(
+                [
+                    "serve",
+                    "--policy",
+                    "online",
+                    "--requests",
+                    "80",
+                    "--rate",
+                    "40",
+                    "--disks",
+                    "6",
+                    "--replication",
+                    "2",
+                    "--output-dir",
+                    str(out_dir),
+                ]
+            )
+            assert code == 0
+        first = (first_dir / "SERVE_online.json").read_text()
+        second = (second_dir / "SERVE_online.json").read_text()
+        assert first == second
+
+
+class TestExitCodes:
+    """Every subcommand returns an explicit int status (satellite b)."""
+
+    def test_domain_errors_exit_one(self, capsys):
+        assert main(["profile", "no-such-profile"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_unknown_name_exits_one(self, capsys):
+        assert main(["bench", "no-such-bench"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_usage_errors_exit_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure", "fig99"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,128 @@
+"""Tests for admission control: token buckets, gates, typed outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import (
+    AdmissionController,
+    Completed,
+    Rejected,
+    RejectReason,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self) -> None:
+        bucket = TokenBucket(rate_per_s=1.0, burst=3.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_from_timestamps(self) -> None:
+        bucket = TokenBucket(rate_per_s=2.0, burst=1.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        # 0.5 s at 2 tokens/s refills exactly one token.
+        assert bucket.try_acquire(0.5)
+
+    def test_refill_caps_at_burst(self) -> None:
+        bucket = TokenBucket(rate_per_s=100.0, burst=2.0)
+        assert bucket.available(1_000.0) == 2.0
+
+    def test_time_going_backwards_does_not_refill(self) -> None:
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0)
+        assert bucket.try_acquire(10.0)
+        assert not bucket.try_acquire(5.0)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=1.0, burst=0.5)
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            bucket.try_acquire(0.0, cost=0.0)
+
+
+class TestAdmissionController:
+    def test_admits_below_all_limits(self) -> None:
+        controller = AdmissionController(queue_limit=4)
+        assert controller.admit("a", 0.0, queue_depth=0) is None
+
+    def test_full_queue_rejects(self) -> None:
+        controller = AdmissionController(queue_limit=2)
+        assert (
+            controller.admit("a", 0.0, queue_depth=2)
+            is RejectReason.QUEUE_FULL
+        )
+
+    def test_rate_limit_rejects_after_burst(self) -> None:
+        controller = AdmissionController(
+            queue_limit=100, client_rate_per_s=1.0, client_burst=2.0
+        )
+        assert controller.admit("a", 0.0, queue_depth=0) is None
+        assert controller.admit("a", 0.0, queue_depth=0) is None
+        assert (
+            controller.admit("a", 0.0, queue_depth=0)
+            is RejectReason.RATE_LIMITED
+        )
+
+    def test_buckets_are_per_client(self) -> None:
+        controller = AdmissionController(
+            queue_limit=100, client_rate_per_s=1.0, client_burst=1.0
+        )
+        assert controller.admit("a", 0.0, queue_depth=0) is None
+        assert (
+            controller.admit("a", 0.0, queue_depth=0)
+            is RejectReason.RATE_LIMITED
+        )
+        assert controller.admit("b", 0.0, queue_depth=0) is None
+
+    def test_full_queue_does_not_charge_the_bucket(self) -> None:
+        controller = AdmissionController(
+            queue_limit=1, client_rate_per_s=1.0, client_burst=1.0
+        )
+        assert (
+            controller.admit("a", 0.0, queue_depth=1)
+            is RejectReason.QUEUE_FULL
+        )
+        # The queue-full rejection above must not have consumed a token.
+        assert controller.admit("a", 0.0, queue_depth=0) is None
+
+    def test_no_rate_limit_means_no_buckets(self) -> None:
+        controller = AdmissionController(queue_limit=4)
+        assert controller.bucket("a") is None
+
+    def test_bad_config_fails_at_construction(self) -> None:
+        with pytest.raises(ConfigurationError):
+            AdmissionController(queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(queue_limit=4, client_rate_per_s=-1.0)
+
+
+class TestOutcomes:
+    def test_completed_response_time(self) -> None:
+        outcome = Completed(
+            request_id=1,
+            client_id="a",
+            data_id=2,
+            disk_id=3,
+            arrival_s=1.5,
+            completed_s=4.0,
+        )
+        assert outcome.accepted
+        assert outcome.response_time_s == 2.5
+
+    def test_rejected_is_not_accepted(self) -> None:
+        outcome = Rejected(
+            client_id="a",
+            data_id=2,
+            reason=RejectReason.QUEUE_FULL,
+            rejected_s=1.0,
+        )
+        assert not outcome.accepted
+        assert outcome.reason.value == "queue_full"

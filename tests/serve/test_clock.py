@@ -1,0 +1,105 @@
+"""Tests for the virtual-time asyncio loop and the service clock."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Tuple
+
+from repro.serve.clock import ServiceClock, VirtualTimeLoop, virtual_run
+
+
+def test_virtual_sleeps_fire_in_deadline_order() -> None:
+    events: List[Tuple[str, float]] = []
+
+    async def sleeper(tag: str, delay_s: float, clock: ServiceClock) -> None:
+        await clock.sleep(delay_s)
+        events.append((tag, clock.now))
+
+    async def main() -> None:
+        clock = ServiceClock()
+        await asyncio.gather(
+            sleeper("slow", 5.0, clock),
+            sleeper("fast", 1.0, clock),
+            sleeper("mid", 2.5, clock),
+        )
+
+    virtual_run(main())
+    assert events == [("fast", 1.0), ("mid", 2.5), ("slow", 5.0)]
+
+
+def test_hours_of_virtual_time_cost_no_wall_time() -> None:
+    async def main() -> float:
+        clock = ServiceClock()
+        await clock.sleep(3_600.0)
+        return clock.now
+
+    start = time.perf_counter()
+    elapsed_virtual_s = virtual_run(main())
+    elapsed_wall_s = time.perf_counter() - start
+    assert elapsed_virtual_s == 3_600.0
+    assert elapsed_wall_s < 5.0  # CI-safe bound; really milliseconds
+
+
+def test_wait_for_timeout_advances_virtual_time() -> None:
+    async def main() -> float:
+        clock = ServiceClock()
+        event = asyncio.Event()
+        try:
+            await asyncio.wait_for(event.wait(), timeout=7.5)
+        except asyncio.TimeoutError:
+            pass
+        return clock.now
+
+    assert virtual_run(main()) == 7.5
+
+
+def test_short_timeout_retry_loop_makes_progress() -> None:
+    """A retry loop around tiny timeouts must advance time, not spin.
+
+    Regression test for the resolution-slack freeze: a timer one float
+    ulp ahead of the frozen clock kept firing "due" without the virtual
+    clock moving, so a retry loop never progressed.
+    """
+
+    async def main() -> float:
+        clock = ServiceClock()
+        event = asyncio.Event()
+        for _ in range(100):
+            try:
+                await asyncio.wait_for(event.wait(), timeout=1e-9)
+            except asyncio.TimeoutError:
+                pass
+        return clock.now
+
+    elapsed_s = virtual_run(main())
+    assert elapsed_s > 0.0
+
+
+def test_sleep_until_and_non_positive_sleep() -> None:
+    async def main() -> Tuple[float, float]:
+        clock = ServiceClock()
+        await clock.sleep_until(2.0)
+        at_two = clock.now
+        await clock.sleep(-5.0)  # yields without going backwards
+        return at_two, clock.now
+
+    at_two, after = virtual_run(main())
+    assert at_two == 2.0
+    assert after == 2.0
+
+
+def test_virtual_loop_time_starts_at_zero() -> None:
+    loop = VirtualTimeLoop()
+    try:
+        assert loop.time() == 0.0
+    finally:
+        loop.close()
+
+
+def test_virtual_run_returns_coroutine_result() -> None:
+    async def main() -> str:
+        await asyncio.sleep(0.5)
+        return "done"
+
+    assert virtual_run(main()) == "done"

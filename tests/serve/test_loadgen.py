@@ -1,0 +1,138 @@
+"""Tests for the load generator (open/closed loop, arrival shapes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import Completed
+from repro.serve.clock import virtual_run
+from repro.serve.loadgen import LoadgenConfig, LoadResult, run_load
+from repro.serve.service import SchedulingService, ServiceConfig
+
+
+def run_session(load: LoadgenConfig, policy: str = "online") -> LoadResult:
+    service = SchedulingService(
+        ServiceConfig(
+            policy=policy,
+            num_disks=6,
+            replication_factor=2,
+            num_data=200,
+            seed=11,
+        )
+    )
+
+    async def go() -> LoadResult:
+        return await run_load(service, load, drain_grace_s=1.0)
+
+    return virtual_run(go())
+
+
+def test_config_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        LoadgenConfig(num_requests=0)
+    with pytest.raises(ConfigurationError):
+        LoadgenConfig(rate_per_s=0.0)
+    with pytest.raises(ConfigurationError):
+        LoadgenConfig(arrival="uniform")
+    with pytest.raises(ConfigurationError):
+        LoadgenConfig(loop="half-open")
+    with pytest.raises(ConfigurationError):
+        LoadgenConfig(burst_factor=0.5)
+
+
+def test_open_loop_completes_all_below_saturation() -> None:
+    result = run_session(
+        LoadgenConfig(num_requests=200, rate_per_s=50.0, seed=2)
+    )
+    assert result.offered == 200
+    assert result.completed == 200
+    assert result.rejected == 0
+    assert result.completed_fraction == 1.0
+    assert len(result.response_times_s) == 200
+    assert all(rt >= 0.0 for rt in result.response_times_s)
+
+
+def test_open_loop_outcomes_are_in_submission_order() -> None:
+    result = run_session(
+        LoadgenConfig(num_requests=50, rate_per_s=50.0, seed=2)
+    )
+    arrivals = [
+        outcome.arrival_s
+        for outcome in result.outcomes
+        if isinstance(outcome, Completed)
+    ]
+    assert arrivals == sorted(arrivals)
+
+
+def test_same_seed_reproduces_the_same_run() -> None:
+    load = LoadgenConfig(num_requests=150, rate_per_s=80.0, seed=9)
+    first = run_session(load)
+    second = run_session(load)
+    assert first.outcomes == second.outcomes
+
+
+def test_different_seeds_differ() -> None:
+    first = run_session(LoadgenConfig(num_requests=100, rate_per_s=80.0, seed=1))
+    second = run_session(LoadgenConfig(num_requests=100, rate_per_s=80.0, seed=2))
+    assert first.outcomes != second.outcomes
+
+
+def test_bursty_arrivals_are_burstier_than_poisson() -> None:
+    """The MMPP schedule has higher inter-arrival variance at one rate."""
+    import random
+
+    poisson = LoadgenConfig(num_requests=500, rate_per_s=100.0, seed=4)
+    bursty = LoadgenConfig(
+        num_requests=500, rate_per_s=100.0, seed=4, arrival="bursty"
+    )
+
+    def cv(config: LoadgenConfig) -> float:
+        times = config.arrival_process().generate(500, random.Random(4))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var**0.5 / mean
+
+    assert cv(bursty) > cv(poisson)
+
+
+def test_closed_loop_completes_everything() -> None:
+    result = run_session(
+        LoadgenConfig(
+            num_requests=120, rate_per_s=60.0, num_clients=4, loop="closed", seed=3
+        )
+    )
+    assert result.offered == 120
+    assert result.completed == 120
+
+
+def test_closed_loop_is_deterministic() -> None:
+    load = LoadgenConfig(
+        num_requests=80, rate_per_s=40.0, num_clients=3, loop="closed", seed=6
+    )
+    assert run_session(load).outcomes == run_session(load).outcomes
+
+
+def test_tally_counts_rejections_by_reason() -> None:
+    service = SchedulingService(
+        ServiceConfig(
+            policy="micro-batch",
+            num_disks=6,
+            replication_factor=2,
+            num_data=200,
+            seed=11,
+            queue_limit=4,
+            window_s=10.0,
+        )
+    )
+    load = LoadgenConfig(num_requests=100, rate_per_s=500.0, seed=5)
+
+    async def go() -> LoadResult:
+        return await run_load(service, load, drain_grace_s=0.5)
+
+    result = virtual_run(go())
+    assert result.rejected > 0
+    assert result.completed + result.rejected == 100
+    by_reason = dict(result.rejected_by_reason)
+    assert by_reason["queue_full"] == result.rejected

@@ -1,0 +1,140 @@
+"""Tests for the shared metrics primitives (repro.sim.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    observe_engine,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self) -> None:
+        counter = Counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self) -> None:
+        counter = Counter("requests")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_zero_increment_is_allowed(self) -> None:
+        counter = Counter("requests")
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self) -> None:
+        gauge = Gauge("depth")
+        assert gauge.value == 0
+        gauge.set(7)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestHistogram:
+    def test_empty_snapshot_is_all_zero(self) -> None:
+        snap = Histogram("latency").snapshot()
+        assert snap == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_count_total_mean(self) -> None:
+        hist = Histogram("latency")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.mean == 2.0
+
+    def test_percentiles_are_nearest_rank(self) -> None:
+        hist = Histogram("latency")
+        # Out-of-order inserts exercise the lazy re-sort.
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.percentile(0.50) == 3.0
+        assert hist.percentile(1.0) == 5.0
+        snap = hist.snapshot()
+        assert snap["min"] == 1.0
+        assert snap["max"] == 5.0
+        assert snap["p50"] == 3.0
+
+    def test_observing_after_snapshot_keeps_order(self) -> None:
+        hist = Histogram("latency")
+        hist.observe(2.0)
+        hist.observe(1.0)
+        assert hist.percentile(1.0) == 2.0
+        hist.observe(0.5)  # arrives below the sorted tail
+        assert hist.percentile(0.0) == 0.5
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_cross_kind_name_collision_is_an_error(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_snapshot_shape_and_sorting(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").observe(1.0)
+        snap = registry.snapshot()
+        assert list(snap.keys()) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"].keys()) == ["a.count", "z.count"]
+        assert snap["counters"]["z.count"] == 2
+        assert snap["gauges"]["depth"] == 4
+        histogram = snap["histograms"]["lat"]
+        assert isinstance(histogram, dict)
+        assert histogram["count"] == 1
+
+    def test_snapshot_is_json_serialisable_and_stable(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        registry.histogram("h").observe(1.5)
+        first = json.dumps(registry.snapshot(), sort_keys=True)
+        second = json.dumps(registry.snapshot(), sort_keys=True)
+        assert first == second
+
+
+def test_observe_engine_mirrors_counters() -> None:
+    engine = SimulationEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    registry = MetricsRegistry()
+    observe_engine(registry, engine)
+    snap = registry.snapshot()
+    assert snap["gauges"]["engine.events_processed"] == 2
+    assert snap["gauges"]["engine.pending_events"] == 0

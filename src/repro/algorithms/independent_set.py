@@ -23,12 +23,16 @@ which is why the paper accepts greedy solutions.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Set, Tuple
 
 from repro.algorithms.graph import ConflictGraph
 from repro.errors import ConfigurationError
 
 NodeId = Hashable
+
+#: A greedy selection rule: value to *minimise* for ``node`` given the
+#: current weights and adjacency (negate for maximisation).
+Scorer = Callable[[NodeId, Dict[NodeId, float], Dict[NodeId, Set[NodeId]]], float]
 
 
 def _working_copy(
@@ -65,13 +69,17 @@ def gwmin(graph: ConflictGraph) -> List[NodeId]:
     between seconds and hours on full-scale trace graphs.
     """
 
-    def score(node, weights, adjacency):
+    def score(
+        node: NodeId,
+        weights: Dict[NodeId, float],
+        adjacency: Dict[NodeId, Set[NodeId]],
+    ) -> float:
         return -weights[node] / (len(adjacency[node]) + 1)
 
     return _lazy_heap_greedy(graph, score)
 
 
-def _lazy_heap_greedy(graph: ConflictGraph, score) -> List[NodeId]:
+def _lazy_heap_greedy(graph: ConflictGraph, score: Scorer) -> List[NodeId]:
     """Shared lazy-heap skeleton for the greedy MWIS family.
 
     ``score(node, weights, adjacency)`` returns a value to *minimise*
@@ -119,7 +127,11 @@ def gwmin2(graph: ConflictGraph) -> List[NodeId]:
     neighbourhoods (possible when every weight is 0) fall back to degree.
     """
 
-    def score(node, weights, adjacency):
+    def score(
+        node: NodeId,
+        weights: Dict[NodeId, float],
+        adjacency: Dict[NodeId, Set[NodeId]],
+    ) -> float:
         closed = weights[node] + sum(weights[n] for n in adjacency[node])
         if closed <= 0:
             return -1.0 / (len(adjacency[node]) + 1)
@@ -135,7 +147,11 @@ def greedy_min_degree(graph: ConflictGraph) -> List[NodeId]:
     ablations comparing weighted vs unweighted selection.
     """
 
-    def score(node, weights, adjacency):
+    def score(
+        node: NodeId,
+        weights: Dict[NodeId, float],
+        adjacency: Dict[NodeId, Set[NodeId]],
+    ) -> float:
         return float(len(adjacency[node]))
 
     return _lazy_heap_greedy(graph, score)

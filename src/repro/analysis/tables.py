@@ -7,7 +7,7 @@ column per scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -61,7 +61,9 @@ def format_series_table(
 
 
 def format_breakdown(
-    fractions: Sequence[Dict], states: Sequence, max_rows: int = 12
+    fractions: Sequence[Mapping[Any, float]],
+    states: Sequence[Any],
+    max_rows: int = 12,
 ) -> str:
     """Condensed per-disk state breakdown (Fig. 9/17 style).
 

@@ -1,0 +1,166 @@
+"""Conservative project call graph with reachability queries.
+
+An edge ``caller -> callee`` exists when a call expression inside
+``caller``'s body resolves syntactically through the symbol table: a local
+function, an import alias, a ``self``/``cls`` method, an explicit
+``mod.Class.method`` reference, or a class constructor (edges onto
+``__init__``).  Calls the table cannot resolve — dynamic dispatch through
+objects of unknown type, callables passed as values, getattr — contribute
+*no* edge, so reachability is an under-approximation: every reported path
+exists in the source, some real paths are missed.
+
+Calls inside a nested function belong to the nested function's node, not
+the enclosing one; defining a closure is not calling it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.checks.analysis.symbols import (
+    FunctionInfo,
+    FunctionNode,
+    SymbolTable,
+    call_name_parts,
+)
+
+
+@dataclass(frozen=True, order=True)
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+
+
+class CallGraph:
+    """Resolved call edges plus breadth-first reachability."""
+
+    def __init__(self, functions: Mapping[str, FunctionInfo], edges: Iterable[CallEdge]):
+        self._functions = dict(functions)
+        self._edges: Tuple[CallEdge, ...] = tuple(sorted(set(edges)))
+        callees: Dict[str, List[CallEdge]] = {}
+        for edge in self._edges:
+            callees.setdefault(edge.caller, []).append(edge)
+        self._callees: Dict[str, Tuple[CallEdge, ...]] = {
+            caller: tuple(found) for caller, found in callees.items()
+        }
+
+    @property
+    def functions(self) -> Mapping[str, FunctionInfo]:
+        return self._functions
+
+    @property
+    def edges(self) -> Tuple[CallEdge, ...]:
+        return self._edges
+
+    def callees_of(self, function_id: str) -> Tuple[CallEdge, ...]:
+        """Outgoing call edges of one ``module:qualname`` function."""
+        return self._callees.get(function_id, ())
+
+    def reachable_from(
+        self,
+        roots: Iterable[str],
+        expand_async: bool = True,
+    ) -> Dict[str, Optional[str]]:
+        """Functions reachable from ``roots``, mapped to their BFS parent.
+
+        Roots map to ``None``.  With ``expand_async=False`` the walk never
+        expands *through* a non-root async function: an awaited coroutine
+        runs under the event loop's own scheduling and is analysed as a
+        root in its own right (the RPL201 traversal mode).
+        """
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for root in sorted(set(roots)):
+            if root not in parents:
+                parents[root] = None
+                queue.append(root)
+        index = 0
+        while index < len(queue):
+            current = queue[index]
+            index += 1
+            info = self._functions.get(current)
+            if (
+                not expand_async
+                and info is not None
+                and info.is_async
+                and parents[current] is not None
+            ):
+                continue
+            for edge in self.callees_of(current):
+                if edge.callee not in parents:
+                    parents[edge.callee] = current
+                    queue.append(edge.callee)
+        return parents
+
+    def path_to(self, parents: Mapping[str, Optional[str]], function_id: str) -> Tuple[str, ...]:
+        """Root-to-function chain recovered from a ``reachable_from`` map."""
+        chain: List[str] = []
+        probe: Optional[str] = function_id
+        while probe is not None:
+            chain.append(probe)
+            probe = parents.get(probe)
+        return tuple(reversed(chain))
+
+
+def build_call_graph(symbols: SymbolTable) -> CallGraph:
+    """Resolve every call site of every project function into edges."""
+    functions: Dict[str, FunctionInfo] = {
+        info.function_id: info for info in symbols.functions()
+    }
+    edges: List[CallEdge] = []
+    for info in functions.values():
+        for call in iter_own_calls(info.node):
+            parts = call_name_parts(call)
+            if parts is None:
+                continue
+            callee = symbols.resolve_call(info.module, parts, info.class_name)
+            if callee is None:
+                continue
+            edges.append(
+                CallEdge(info.function_id, callee.function_id, call.lineno)
+            )
+    return CallGraph(functions, edges)
+
+
+def iter_own_calls(function: FunctionNode) -> Iterable[ast.Call]:
+    """Call expressions in ``function``'s own body, skipping nested defs."""
+    stack: List[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_module_level_calls(module: ast.Module) -> Iterable[ast.Call]:
+    """Calls executed at import time: module and class bodies, no def bodies."""
+    stack: List[ast.AST] = list(module.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def display_function(function_id: str) -> str:
+    """Human rendering of a ``module:qualname`` id (``repro.sim.engine.run``)."""
+    return function_id.replace(":", ".")
+
+
+def chain_text(
+    calls: "CallGraph", parents: Mapping[str, Optional[str]], function_id: str
+) -> str:
+    """Render the root-to-function call chain for a finding message."""
+    chain = calls.path_to(parents, function_id)
+    if len(chain) <= 1:
+        return display_function(function_id)
+    return " -> ".join(display_function(step) for step in chain)

@@ -1,0 +1,108 @@
+"""Project import graph.
+
+Edges record *which module imports which*, at statement granularity, with
+relative imports resolved against the importing module's package.  A
+``from pkg.mod import name`` edge targets ``pkg.mod.name`` when that is
+itself a project module (importing a submodule), and ``pkg.mod`` otherwise
+(importing a symbol).  Edges to modules outside the analysed project are
+kept — rules filter with :meth:`ImportGraph.project_edges` when they only
+care about internal structure.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.checks.analysis.modules import ModuleInfo
+
+
+@dataclass(frozen=True, order=True)
+class ImportEdge:
+    """One import statement: ``importer`` pulls in ``imported`` at ``line``."""
+
+    importer: str
+    imported: str
+    line: int
+
+
+class ImportGraph:
+    """Queryable set of import edges over the analysed modules."""
+
+    def __init__(self, edges: Iterable[ImportEdge], module_names: Iterable[str]):
+        self._edges: Tuple[ImportEdge, ...] = tuple(sorted(edges))
+        self._module_names = frozenset(module_names)
+        by_importer: Dict[str, List[ImportEdge]] = {}
+        for edge in self._edges:
+            by_importer.setdefault(edge.importer, []).append(edge)
+        self._by_importer: Dict[str, Tuple[ImportEdge, ...]] = {
+            name: tuple(found) for name, found in by_importer.items()
+        }
+
+    @property
+    def edges(self) -> Tuple[ImportEdge, ...]:
+        return self._edges
+
+    def imports_of(self, module: str) -> Tuple[ImportEdge, ...]:
+        """Every edge whose importer is ``module``."""
+        return self._by_importer.get(module, ())
+
+    def project_edges(self) -> Tuple[ImportEdge, ...]:
+        """Edges whose target is (or lies inside) an analysed module."""
+        return tuple(
+            edge for edge in self._edges if self.is_project_module(edge.imported)
+        )
+
+    def is_project_module(self, name: str) -> bool:
+        """True when ``name`` or an ancestor package was analysed."""
+        probe = name
+        while probe:
+            if probe in self._module_names:
+                return True
+            probe, _, _ = probe.rpartition(".")
+        return False
+
+
+def build_import_graph(modules: Mapping[str, ModuleInfo]) -> ImportGraph:
+    """Extract every import edge from ``modules`` (keyed by dotted name)."""
+    edges: List[ImportEdge] = []
+    for info in modules.values():
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    edges.append(
+                        ImportEdge(info.name, alias.name, node.lineno)
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = resolve_import_base(info, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    # ``from pkg import mod`` edges onto the submodule when
+                    # it exists in the project; onto ``pkg`` otherwise.
+                    if target not in modules and base:
+                        target = base
+                    edges.append(ImportEdge(info.name, target, node.lineno))
+    return ImportGraph(edges, modules.keys())
+
+
+def resolve_import_base(info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+    """The dotted module an ``ImportFrom`` statement reads from.
+
+    Returns ``None`` for a relative import that climbs above the module's
+    own package depth (a broken import — left to the interpreter to report).
+    """
+    if node.level == 0:
+        return node.module or ""
+    package_parts = info.name.split(".")
+    if not info.is_package:
+        package_parts = package_parts[:-1]
+    climb = node.level - 1
+    if climb > len(package_parts):
+        return None
+    base_parts = package_parts[: len(package_parts) - climb]
+    if node.module:
+        base_parts = [*base_parts, node.module]
+    return ".".join(base_parts)

@@ -1,0 +1,76 @@
+"""Mapping lint targets to dotted module names.
+
+Project rules reason about *modules* (``repro.sim.engine``), not file paths.
+For files that exist on disk the name is derived the way Python itself would:
+climb parent directories for as long as they contain ``__init__.py`` — the
+chain of package directories plus the file stem is the dotted name.  For
+in-memory sources (``check_source`` fixtures) the name is derived textually
+from the supplied path, so a fixture checked as ``src/repro/sim/fixture.py``
+lands in the ``repro.sim`` determinism scope exactly like a real module.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed module of the project under analysis.
+
+    Attributes:
+        name: Dotted module name (``repro.sim.engine``).
+        path: The path string the runner read the module from — violations
+            anchored on this module reuse it verbatim so per-file and
+            project findings sort and suppress identically.
+        source: Raw source text.
+        tree: Parsed AST.
+        is_package: True for ``__init__.py`` modules; relative imports
+            inside a package resolve against the package itself.
+    """
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    is_package: bool
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for ``path`` (filesystem-aware, textual fallback)."""
+    if os.path.isfile(path):
+        return _filesystem_name(path)
+    return _textual_name(path)
+
+
+def is_package_path(path: str) -> bool:
+    """True when ``path`` names an ``__init__.py`` module."""
+    return os.path.basename(path.replace("\\", "/")) == "__init__.py"
+
+
+def _filesystem_name(path: str) -> str:
+    directory, filename = os.path.split(os.path.abspath(path))
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        if not package:
+            break
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+def _textual_name(path: str) -> str:
+    normalized = path.replace("\\", "/")
+    if normalized.endswith(".py"):
+        normalized = normalized[: -len(".py")]
+    parts = [part for part in normalized.split("/") if part and part != "."]
+    # Sources under a conventional ``src/`` layout are importable from the
+    # component after the *last* ``src`` marker.
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else normalized

@@ -1,0 +1,313 @@
+"""Module-level symbol tables and cross-module name resolution.
+
+For every analysed module this records the functions and methods it defines
+(with async-ness), the classes and their bases, and the *import aliases* in
+scope at module level (``np`` → ``numpy``, ``run_cell`` →
+``repro.experiments.common.run_cell``).  :class:`SymbolTable` then resolves
+a dotted name as written at a call site — ``helper()``, ``mod.helper()``,
+``pkg.mod.helper()``, ``ClassName()`` — to the :class:`FunctionInfo` it
+denotes, when and only when the target is defined in the project.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.checks.analysis.imports import resolve_import_base
+from repro.checks.analysis.modules import ModuleInfo
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method defined somewhere in the project."""
+
+    module: str
+    qualname: str
+    node: FunctionNode
+    is_async: bool
+
+    @property
+    def function_id(self) -> str:
+        """Stable identifier: ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def class_name(self) -> Optional[str]:
+        """Enclosing class name for methods, ``None`` for plain functions."""
+        if "." not in self.qualname:
+            return None
+        return self.qualname.rsplit(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class: its methods by name and its base-class name expressions."""
+
+    module: str
+    name: str
+    methods: Mapping[str, FunctionInfo]
+    base_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ModuleSymbols:
+    """Everything name resolution needs to know about one module."""
+
+    module: str
+    functions: Mapping[str, FunctionInfo] = field(default_factory=dict)
+    classes: Mapping[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level import aliases: local name -> dotted target.
+    aliases: Mapping[str, str] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Project-wide lookup over per-module symbol tables."""
+
+    def __init__(self, modules: Mapping[str, ModuleSymbols]):
+        self._modules = dict(modules)
+
+    @property
+    def modules(self) -> Mapping[str, ModuleSymbols]:
+        return self._modules
+
+    def functions(self) -> Tuple[FunctionInfo, ...]:
+        """Every function and method in the project, sorted by id."""
+        found: List[FunctionInfo] = []
+        for symbols in self._modules.values():
+            found.extend(symbols.functions.values())
+        return tuple(sorted(found, key=lambda info: info.function_id))
+
+    def function(self, function_id: str) -> Optional[FunctionInfo]:
+        """Look up a function by ``module:qualname`` id."""
+        module, _, qualname = function_id.partition(":")
+        symbols = self._modules.get(module)
+        if symbols is None:
+            return None
+        return symbols.functions.get(qualname)
+
+    def resolve_call(
+        self, module: str, parts: Sequence[str], class_name: Optional[str] = None
+    ) -> Optional[FunctionInfo]:
+        """Resolve a dotted call target written in ``module`` to a function.
+
+        ``parts`` is the attribute chain at the call site (``("helper",)``,
+        ``("np", "interp")``, ``("self", "tick")``).  ``class_name`` supplies
+        the enclosing class for ``self``/``cls`` receivers.  Returns ``None``
+        whenever the target is ambiguous or outside the project.
+        """
+        symbols = self._modules.get(module)
+        if symbols is None or not parts:
+            return None
+        if parts[0] in ("self", "cls") and class_name is not None:
+            if len(parts) == 2:
+                return self._method(module, class_name, parts[1])
+            return None
+        expanded = self._expand_alias(symbols, parts)
+        return self._resolve_absolute(module, expanded)
+
+    def _expand_alias(
+        self, symbols: ModuleSymbols, parts: Sequence[str]
+    ) -> Tuple[str, ...]:
+        target = symbols.aliases.get(parts[0])
+        if target is None:
+            return tuple(parts)
+        return (*target.split("."), *parts[1:])
+
+    def _resolve_absolute(
+        self, module: str, parts: Tuple[str, ...]
+    ) -> Optional[FunctionInfo]:
+        # A bare name: a function or class defined in the same module.
+        if len(parts) == 1:
+            return self._module_callable(module, parts[0])
+        # Otherwise find the longest prefix naming a project module and
+        # treat the next component as the callable within it.
+        for split in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:split])
+            if candidate in self._modules:
+                if split == len(parts) - 1:
+                    return self._module_callable(candidate, parts[split])
+                if split == len(parts) - 2:
+                    # ``mod.Class.method`` — an explicit method reference.
+                    return self._method(candidate, parts[split], parts[split + 1])
+                return None
+        return None
+
+    def _module_callable(self, module: str, name: str) -> Optional[FunctionInfo]:
+        symbols = self._modules.get(module)
+        if symbols is None:
+            return None
+        function = symbols.functions.get(name)
+        if function is not None:
+            return function
+        # Calling a class constructs an instance: treat it as its __init__.
+        return self._method(module, name, "__init__")
+
+    def _method(self, module: str, class_name: str, method: str) -> Optional[FunctionInfo]:
+        """Method lookup, following resolvable base classes breadth-first."""
+        seen: Set[Tuple[str, str]] = set()
+        queue: List[Tuple[str, str]] = [(module, class_name)]
+        while queue:
+            where, cls = queue.pop(0)
+            if (where, cls) in seen:
+                continue
+            seen.add((where, cls))
+            symbols = self._modules.get(where)
+            if symbols is None:
+                continue
+            info = symbols.classes.get(cls)
+            if info is None:
+                continue
+            found = info.methods.get(method)
+            if found is not None:
+                return found
+            for base in info.base_names:
+                located = self._locate_class(where, base)
+                if located is not None:
+                    queue.append(located)
+        return None
+
+    def _locate_class(self, module: str, base_name: str) -> Optional[Tuple[str, str]]:
+        symbols = self._modules.get(module)
+        if symbols is None:
+            return None
+        parts: Tuple[str, ...] = tuple(base_name.split("."))
+        if parts[0] in symbols.aliases:
+            parts = (*symbols.aliases[parts[0]].split("."), *parts[1:])
+        if len(parts) == 1:
+            if parts[0] in symbols.classes:
+                return (module, parts[0])
+            return None
+        candidate = ".".join(parts[:-1])
+        if candidate in self._modules and parts[-1] in self._modules[candidate].classes:
+            return (candidate, parts[-1])
+        return None
+
+
+def build_symbol_table(modules: Mapping[str, ModuleInfo]) -> SymbolTable:
+    """Collect per-module symbols for every analysed module."""
+    return SymbolTable(
+        {name: _module_symbols(info) for name, info in modules.items()}
+    )
+
+
+def _module_symbols(info: ModuleInfo) -> ModuleSymbols:
+    functions: Dict[str, FunctionInfo] = {}
+    classes: Dict[str, ClassInfo] = {}
+    aliases: Dict[str, str] = {}
+    _collect_aliases(info, aliases)
+    _collect_definitions(info.name, info.tree.body, prefix="", functions=functions, classes=classes)
+    return ModuleSymbols(
+        module=info.name, functions=functions, classes=classes, aliases=aliases
+    )
+
+
+def _collect_aliases(info: ModuleInfo, aliases: Dict[str, str]) -> None:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds the name ``a``.
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(info, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname if alias.asname is not None else alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+
+def _collect_definitions(
+    module: str,
+    body: Sequence[ast.stmt],
+    prefix: str,
+    functions: Dict[str, FunctionInfo],
+    classes: Dict[str, ClassInfo],
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{node.name}"
+            functions[qualname] = FunctionInfo(
+                module=module,
+                qualname=qualname,
+                node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+            )
+            # Nested defs become dotted qualnames of their own.
+            _collect_definitions(
+                module, node.body, f"{qualname}.", functions, classes
+            )
+        elif isinstance(node, ast.ClassDef):
+            class_prefix = f"{prefix}{node.name}."
+            before = dict(functions)
+            _collect_definitions(module, node.body, class_prefix, functions, classes)
+            methods = {
+                info.qualname.rsplit(".", 1)[1]: info
+                for qualname, info in functions.items()
+                if qualname not in before
+                and qualname.startswith(class_prefix)
+                and "." not in qualname[len(class_prefix):]
+            }
+            classes[f"{prefix}{node.name}"] = ClassInfo(
+                module=module,
+                name=f"{prefix}{node.name}",
+                methods=methods,
+                base_names=tuple(
+                    flattened
+                    for flattened in (
+                        _flatten_name(base) for base in node.bases
+                    )
+                    if flattened is not None
+                ),
+            )
+
+
+def call_name_parts(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    """The attribute chain of a call target (``a.b.c(...)`` -> ``(a, b, c)``)."""
+    parts: List[str] = []
+    probe: ast.expr = call.func
+    while isinstance(probe, ast.Attribute):
+        parts.append(probe.attr)
+        probe = probe.value
+    if not isinstance(probe, ast.Name):
+        return None
+    parts.append(probe.id)
+    return tuple(reversed(parts))
+
+
+def canonical_call_name(symbols: ModuleSymbols, call: ast.Call) -> Optional[str]:
+    """Call target as a canonical dotted name, import aliases expanded.
+
+    ``from time import time; time()`` and ``import time as t; t.time()``
+    both canonicalise to ``"time.time"`` — the form the rule vocabularies
+    (wall-clock, blocking, RNG constructors) are written in.
+    """
+    parts = call_name_parts(call)
+    if parts is None:
+        return None
+    target = symbols.aliases.get(parts[0])
+    if target is not None:
+        parts = (*target.split("."), *parts[1:])
+    return ".".join(parts)
+
+
+def _flatten_name(node: ast.expr) -> Optional[str]:
+    """Dotted rendering of a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    probe: ast.expr = node
+    while isinstance(probe, ast.Attribute):
+        parts.append(probe.attr)
+        probe = probe.value
+    if not isinstance(probe, ast.Name):
+        return None
+    parts.append(probe.id)
+    return ".".join(reversed(parts))

@@ -1,0 +1,263 @@
+"""Accepted-findings baseline: adopt new rules without a flag day.
+
+A baseline file (``reprolint-baseline.json``) records findings that were
+present when a rule was introduced and have been *triaged as benign*;
+runs subtract baselined findings before deciding the exit code, so CI
+can gate on "no **new** findings" while the accepted debt is paid down
+incrementally.  Three properties keep the mechanism honest:
+
+* every entry carries a human-written ``justification`` — loading a
+  baseline with a missing or empty justification is an error, so debt
+  cannot be accepted silently;
+* entries are matched **line-insensitively** on ``(path, code, message)``
+  fingerprints — moving code around does not resurrect accepted
+  findings, but changing the finding itself (new message) does;
+* entries that no longer match anything are **stale** and fail the run —
+  a fixed finding must leave the baseline in the same change, so the
+  file never rots into an unreviewable allowlist.
+
+The file format is deliberately plain JSON (sorted, indented) so diffs
+in review show exactly which finding is being accepted and why.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.checks.runner import CheckReport
+from repro.checks.violation import Violation
+from repro.errors import ReproError
+
+#: File name discovered by the upward walk (and written by default).
+BASELINE_FILENAME = "reprolint-baseline.json"
+
+#: Bumped only on incompatible format changes.
+BASELINE_VERSION = 1
+
+#: Placeholder written by ``--write-baseline``; non-empty on purpose so a
+#: freshly written file loads, but conspicuous enough to catch in review.
+TODO_JUSTIFICATION = "TODO: justify why this finding is benign, or fix it"
+
+#: A line-insensitive identity for one accepted finding.
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ReproError):
+    """The baseline file is malformed, unreadable, or missing a field."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding plus the reason it was accepted."""
+
+    path: str
+    code: str
+    message: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        return (self.path, self.code, self.message)
+
+    def format(self) -> str:
+        """Human-oriented one-liner used in stale-entry reports."""
+        return f"{self.path}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A parsed baseline file: accepted fingerprints with justifications."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+    path: Optional[str] = None
+
+    def fingerprints(self) -> FrozenSet[Fingerprint]:
+        """The accepted identities (compute once, then test membership)."""
+        return frozenset(entry.fingerprint for entry in self.entries)
+
+    @property
+    def base_dir(self) -> Optional[str]:
+        """Directory the file lives in; entry paths are relative to it."""
+        if self.path is None:
+            return None
+        return os.path.dirname(os.path.abspath(self.path))
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """Result of subtracting a baseline from a report."""
+
+    report: CheckReport
+    suppressed: Tuple[Violation, ...] = ()
+    stale: Tuple[BaselineEntry, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new fired *and* no entry went stale."""
+        return self.report.ok and not self.stale
+
+
+def fingerprint_of(
+    violation: Violation, base_dir: Optional[str] = None
+) -> Fingerprint:
+    """The line-insensitive identity of a finding.
+
+    With ``base_dir`` (the directory holding the baseline file) the path
+    is relativised against it, so fingerprints match no matter where the
+    lint run was started from or whether paths were given absolute.
+    """
+    return (
+        normalise_path(violation.path, base_dir),
+        violation.code,
+        violation.message,
+    )
+
+
+def normalise_path(path: str, base_dir: Optional[str] = None) -> str:
+    """Forward-slashed, dot-free path so fingerprints survive OS moves."""
+    if base_dir is not None:
+        path = os.path.relpath(os.path.abspath(path), base_dir)
+    return os.path.normpath(path).replace(os.sep, "/").replace("\\", "/")
+
+
+def find_baseline(start: str) -> Optional[str]:
+    """Walk upward from ``start`` looking for :data:`BASELINE_FILENAME`.
+
+    ``start`` may be a file or directory; the walk stops at the
+    filesystem root.  Returns the first hit, or ``None``.
+    """
+    directory = os.path.abspath(start)
+    if not os.path.isdir(directory):
+        directory = os.path.dirname(directory)
+    while True:
+        candidate = os.path.join(directory, BASELINE_FILENAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return None
+        directory = parent
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse and validate a baseline file; raises :class:`BaselineError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path!r}: top level must be an object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path!r}: unsupported version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path!r}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for position, raw in enumerate(raw_entries):
+        entries.append(_parse_entry(path, position, raw))
+    return Baseline(entries=tuple(entries), path=path)
+
+
+def apply_baseline(report: CheckReport, baseline: Baseline) -> BaselineOutcome:
+    """Subtract accepted findings from ``report`` and spot stale entries."""
+    accepted = baseline.fingerprints()
+    base_dir = baseline.base_dir
+    kept: List[Violation] = []
+    suppressed: List[Violation] = []
+    matched: Set[Fingerprint] = set()
+    for violation in report.violations:
+        fingerprint = fingerprint_of(violation, base_dir)
+        if fingerprint in accepted:
+            matched.add(fingerprint)
+            suppressed.append(violation)
+        else:
+            kept.append(violation)
+    stale = tuple(
+        entry for entry in baseline.entries if entry.fingerprint not in matched
+    )
+    return BaselineOutcome(
+        report=replace(report, violations=tuple(kept)),
+        suppressed=tuple(suppressed),
+        stale=stale,
+    )
+
+
+def write_baseline(
+    report: CheckReport,
+    path: str,
+    existing: Optional[Baseline] = None,
+) -> Baseline:
+    """Write ``report``'s findings to ``path`` as a fresh baseline.
+
+    Justifications from ``existing`` are carried over for findings that
+    are still present; new findings get :data:`TODO_JUSTIFICATION` so the
+    review diff makes the un-triaged debt impossible to miss.
+    """
+    base_dir = os.path.dirname(os.path.abspath(path)) or None
+    carried: Dict[Fingerprint, str] = {}
+    if existing is not None:
+        for entry in existing.entries:
+            carried[entry.fingerprint] = entry.justification
+    entries: List[BaselineEntry] = []
+    seen: Set[Fingerprint] = set()
+    for violation in report.violations:
+        fingerprint = fingerprint_of(violation, base_dir)
+        if fingerprint in seen:
+            continue  # line-insensitive: one entry covers every duplicate
+        seen.add(fingerprint)
+        entries.append(
+            BaselineEntry(
+                path=fingerprint[0],
+                code=fingerprint[1],
+                message=fingerprint[2],
+                justification=carried.get(fingerprint, TODO_JUSTIFICATION),
+            )
+        )
+    entries.sort(key=lambda entry: entry.fingerprint)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "path": entry.path,
+                "code": entry.code,
+                "message": entry.message,
+                "justification": entry.justification,
+            }
+            for entry in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return Baseline(entries=tuple(entries), path=path)
+
+
+def _parse_entry(path: str, position: int, raw: object) -> BaselineEntry:
+    where = f"baseline {path!r}, entry {position}"
+    if not isinstance(raw, dict):
+        raise BaselineError(f"{where}: must be an object")
+    fields: Dict[str, str] = {}
+    for field in ("path", "code", "message", "justification"):
+        value = raw.get(field)
+        if not isinstance(value, str) or not value.strip():
+            raise BaselineError(f"{where}: {field!r} must be a non-empty string")
+        fields[field] = value
+    unknown = sorted(set(raw) - {"path", "code", "message", "justification"})
+    if unknown:
+        raise BaselineError(f"{where}: unknown field(s) {', '.join(unknown)}")
+    return BaselineEntry(
+        path=normalise_path(fields["path"]),
+        code=fields["code"],
+        message=fields["message"],
+        justification=fields["justification"],
+    )

@@ -4,16 +4,33 @@ from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.checks.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineError,
+    apply_baseline,
+    find_baseline,
+    load_baseline,
+    normalise_path,
+    write_baseline,
+)
 from repro.checks.config import CheckConfig
 from repro.checks.registry import all_rules
-from repro.checks.reporting import render_json, render_text
-from repro.checks.runner import check_paths
+from repro.checks.reporting import render_json, render_sarif, render_text
+from repro.checks.runner import CheckReport, check_paths
 
 #: What a bare ``repro-storage lint`` checks: the library, not fixtures.
 DEFAULT_PATHS = ("src",)
+
+_RENDERERS: Dict[str, Callable[[CheckReport], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -25,7 +42,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=tuple(_RENDERERS),
         default="text",
         help="report format (default: text)",
     )
@@ -40,6 +57,30 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default="",
         metavar="CODES",
         help="comma-separated RPL codes to skip",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files changed versus git HEAD "
+        "(the whole-program analysis still sees every file)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline of accepted findings (default: nearest "
+        f"{BASELINE_FILENAME} above the first lint path)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file and exit "
+        "(justifications of entries that still match are kept)",
     )
     parser.add_argument(
         "--list-rules",
@@ -66,10 +107,61 @@ def run_lint_args(args: argparse.Namespace) -> int:
     if missing:
         print(f"reprolint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    restrict_to: Optional[List[str]] = None
+    if args.changed:
+        restrict_to = changed_files()
+        if restrict_to is None:
+            print(
+                "reprolint: --changed requires a git checkout "
+                "(git diff against HEAD failed)",
+                file=sys.stderr,
+            )
+            return 2
+        if not restrict_to:
+            print("reprolint: no Python files changed versus HEAD")
+            return 0
     config = CheckConfig(select=select, ignore=ignore)
-    report = check_paths(paths, config)
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(report))
+    report = check_paths(paths, config, restrict_to=restrict_to)
+
+    baseline_path = _baseline_path(args, paths)
+    if args.write_baseline:
+        target = baseline_path or BASELINE_FILENAME
+        existing = _load_quietly(target)
+        written = write_baseline(report, target, existing=existing)
+        print(
+            f"reprolint: wrote {len(written.entries)} accepted finding(s) "
+            f"to {target}"
+        )
+        return 0
+
+    stale_failure = False
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        outcome = apply_baseline(report, baseline)
+        report = outcome.report
+        stale = outcome.stale
+        if restrict_to is not None:
+            # A restricted run only reports findings for the changed files;
+            # an entry for an *unchanged* file is unproven, not stale.
+            changed = {
+                normalise_path(path, baseline.base_dir) for path in restrict_to
+            }
+            stale = tuple(entry for entry in stale if entry.path in changed)
+        for entry in stale:
+            print(
+                f"reprolint: stale baseline entry (fixed? remove it from "
+                f"{baseline_path}): {entry.format()}",
+                file=sys.stderr,
+            )
+        stale_failure = bool(stale)
+
+    print(_RENDERERS[args.format](report))
+    if stale_failure:
+        return 1
     return report.exit_code
 
 
@@ -78,10 +170,68 @@ def run_lint(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
         description="reprolint: domain-aware static analysis "
-        "(unit discipline, determinism, scheduler contracts)",
+        "(unit discipline, determinism, asyncio and layering contracts)",
     )
     add_lint_arguments(parser)
     return run_lint_args(parser.parse_args(argv))
+
+
+def changed_files() -> Optional[List[str]]:
+    """Python files changed versus HEAD (tracked edits plus untracked).
+
+    Paths come back relative to the current directory, ready to feed
+    ``check_paths(restrict_to=...)``.  Returns ``None`` when git is
+    unavailable or the working directory is not inside a checkout.
+    """
+    toplevel = _git(["rev-parse", "--show-toplevel"])
+    if toplevel is None:
+        return None
+    root = toplevel.strip()
+    edited = _git(["diff", "--name-only", "HEAD", "--"])
+    untracked = _git(["ls-files", "--others", "--exclude-standard"])
+    if edited is None or untracked is None:
+        return None
+    names = [line for line in (edited + untracked).splitlines() if line.strip()]
+    files: List[str] = []
+    for name in sorted(set(names)):
+        if not name.endswith(".py"):
+            continue
+        absolute = os.path.join(root, name)
+        if os.path.exists(absolute):  # deleted files cannot be linted
+            files.append(os.path.relpath(absolute))
+    return files
+
+
+def _git(arguments: List[str]) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *arguments],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return completed.stdout
+
+
+def _baseline_path(args: argparse.Namespace, paths: List[str]) -> Optional[str]:
+    """The baseline file in effect: explicit flag, else the upward walk."""
+    if args.no_baseline and not args.write_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    return find_baseline(paths[0])
+
+
+def _load_quietly(path: str) -> Optional[Baseline]:
+    """Existing baseline for justification carry-over; None when absent/bad."""
+    if not os.path.isfile(path):
+        return None
+    try:
+        return load_baseline(path)
+    except BaselineError:
+        return None
 
 
 def _parse_codes(raw: str) -> "frozenset[str]":

@@ -137,6 +137,133 @@ DEFAULT_HOT_FUNCTIONS: FrozenSet[str] = frozenset(
 #: the simulation core and the scheduler layer.
 DEFAULT_HOT_PATH_PARTS: Tuple[str, ...] = ("repro/sim", "repro/core")
 
+#: Module-name prefixes rooting the determinism scope (RPL101/RPL102): the
+#: packages whose dispatch paths must be byte-identically replayable.
+DEFAULT_DETERMINISM_SCOPE: Tuple[str, ...] = ("repro.sim", "repro.core", "repro.serve")
+
+#: Canonical dotted names of calls that read the wall clock (RPL101).
+#: Matched after import-alias expansion, so ``from time import time`` and
+#: ``import time as t`` are both seen.
+DEFAULT_WALL_CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Canonical dotted names of RNG constructors whose *first argument* is the
+#: seed; passing a maybe-``None`` seed through falls back to OS entropy
+#: (RPL102).
+DEFAULT_RNG_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+    }
+)
+
+#: Function/method names that serialise reports and documents — the roots
+#: of the RPL103 scope (unordered iteration feeding serialisation).
+DEFAULT_SERIALISATION_FUNCTIONS: FrozenSet[str] = frozenset(
+    {
+        "as_dict",
+        "to_dict",
+        "as_payload",
+        "payload",
+        "serialize",
+        "serialise",
+        "as_json",
+        "to_json",
+        "document",
+        "serve_document",
+        "render",
+        "summary",
+    }
+)
+
+#: Canonical dotted names of calls that block the thread — forbidden inside
+#: (or reachable from) ``async def`` bodies (RPL201).
+DEFAULT_BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+        "input",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LayeringContract:
+    """One RPL301 architecture constraint on a package's imports.
+
+    Either ``forbidden`` lists package prefixes the ``package`` must never
+    import, or ``allowed`` lists the *only* project packages it may import
+    (itself always implicitly allowed).  ``reason`` is echoed in the
+    finding so the contract is self-explaining at the violation site.
+    """
+
+    package: str
+    reason: str
+    forbidden: Tuple[str, ...] = ()
+    allowed: Optional[Tuple[str, ...]] = None
+
+
+#: The repo's layering contract (RPL301).  The scheduler and simulation
+#: cores sit below the serving/experiment/tooling layers; the lint pass is
+#: hermetic apart from the shared exception/type foundation.
+DEFAULT_LAYERING_CONTRACTS: Tuple[LayeringContract, ...] = (
+    LayeringContract(
+        package="repro.core",
+        forbidden=(
+            "repro.serve",
+            "repro.experiments",
+            "repro.cli",
+            "repro.perf",
+            "repro.checks",
+        ),
+        reason="the scheduler core sits below serving/experiments/tooling",
+    ),
+    LayeringContract(
+        package="repro.sim",
+        forbidden=(
+            "repro.serve",
+            "repro.experiments",
+            "repro.cli",
+            "repro.perf",
+            "repro.checks",
+        ),
+        reason="the simulation core sits below serving/experiments/tooling",
+    ),
+    LayeringContract(
+        package="repro.checks",
+        allowed=("repro.errors", "repro.types"),
+        reason="the lint pass must not depend on the domain it checks",
+    ),
+)
+
 
 @dataclass(frozen=True)
 class CheckConfig:
@@ -153,6 +280,17 @@ class CheckConfig:
             paths by RPL007.
         hot_path_parts: Path fragments selecting the modules RPL007
             scans (empty disables the rule everywhere).
+        determinism_scope: Module-name prefixes rooting the RPL101/RPL102
+            reachability walk (empty disables both rules).
+        wall_clock_calls: Canonical dotted call names that read the wall
+            clock (RPL101).
+        rng_constructors: Canonical dotted names of seed-first RNG
+            constructors (RPL102).
+        serialisation_functions: Function names rooting the RPL103
+            serialisation scope.
+        blocking_calls: Canonical dotted call names that block the event
+            loop (RPL201).
+        layering_contracts: Package import constraints (RPL301).
     """
 
     vocabulary: UnitVocabulary = field(default_factory=UnitVocabulary)
@@ -164,6 +302,12 @@ class CheckConfig:
     request_names: Tuple[str, ...] = ("request", "req")
     hot_functions: FrozenSet[str] = DEFAULT_HOT_FUNCTIONS
     hot_path_parts: Tuple[str, ...] = DEFAULT_HOT_PATH_PARTS
+    determinism_scope: Tuple[str, ...] = DEFAULT_DETERMINISM_SCOPE
+    wall_clock_calls: FrozenSet[str] = DEFAULT_WALL_CLOCK_CALLS
+    rng_constructors: FrozenSet[str] = DEFAULT_RNG_CONSTRUCTORS
+    serialisation_functions: FrozenSet[str] = DEFAULT_SERIALISATION_FUNCTIONS
+    blocking_calls: FrozenSet[str] = DEFAULT_BLOCKING_CALLS
+    layering_contracts: Tuple[LayeringContract, ...] = DEFAULT_LAYERING_CONTRACTS
 
     def rule_enabled(self, code: str) -> bool:
         """Apply ``select`` then ``ignore`` to one rule code."""

@@ -6,11 +6,14 @@ import ast
 import re
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type
 
 from repro.checks.config import CheckConfig
 from repro.checks.violation import Violation
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover — type-only; avoids a module cycle
+    from repro.checks.analysis.project import ProjectContext
 
 _CODE_PATTERN = re.compile(r"^RPL\d{3}$")
 
@@ -50,6 +53,30 @@ class Rule(ABC):
     @abstractmethod
     def check(self, context: FileContext) -> Iterator[Violation]:
         """Yield every violation of this rule in ``context``."""
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Violation]:
+        """Yield whole-program violations (default: none).
+
+        The runner calls this once per lint run with the fully built
+        :class:`~repro.checks.analysis.project.ProjectContext`; per-file
+        rules simply inherit this no-op.
+        """
+        return iter(())
+
+
+class ProjectRule(Rule):
+    """A rule that only sees the whole program, never single files.
+
+    Subclasses implement :meth:`Rule.check_project`; the per-file hook is a
+    no-op so the registry can treat both kinds uniformly.
+    """
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Violation]:
+        """Yield every whole-program violation of this rule."""
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -1,10 +1,17 @@
-"""Text and JSON reporters for lint runs."""
+"""Text, JSON, and SARIF reporters for lint runs."""
 
 from __future__ import annotations
 
 import json
+from typing import Any, Dict, List
 
+from repro.checks.registry import all_rules
 from repro.checks.runner import CheckReport
+from repro.checks.violation import Violation
+
+#: The SARIF spec version we emit (what GitHub code scanning ingests).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(report: CheckReport) -> str:
@@ -34,3 +41,92 @@ def render_json(report: CheckReport) -> str:
         "ok": report.ok,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(report: CheckReport) -> str:
+    """SARIF 2.1.0 document for CI code-scanning upload.
+
+    One run, one ``reprolint`` driver carrying the full rule catalogue
+    (so findings link to rule help even for rules that did not fire this
+    run), one result per violation.  Parse errors become tool execution
+    notifications: they are failures of the *run*, not findings about a
+    line of code.  Key order is sorted so SARIF artifacts diff cleanly.
+    """
+    catalogue = all_rules()
+    rule_index = {rule.code: index for index, rule in enumerate(catalogue)}
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in catalogue
+    ]
+    results: List[Dict[str, Any]] = [
+        _sarif_result(violation, rule_index) for violation in report.violations
+    ]
+    notifications: List[Dict[str, Any]] = [
+        {
+            "level": "error",
+            "message": {"text": message},
+            "locations": [_sarif_location(path, line=1, column=1)],
+        }
+        for path, message in report.parse_errors
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.parse_errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _sarif_result(violation: Violation, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": violation.code,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            _sarif_location(violation.path, violation.line, violation.column)
+        ],
+    }
+    index = rule_index.get(violation.code)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def _sarif_location(path: str, line: int, column: int) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": _sarif_uri(path)},
+            "region": {"startLine": max(line, 1), "startColumn": max(column, 1)},
+        }
+    }
+
+
+def _sarif_uri(path: str) -> str:
+    """Forward-slashed URI (SARIF wants URIs, not OS paths)."""
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    if uri.startswith("/"):
+        return "file://" + uri
+    return uri

@@ -11,6 +11,12 @@ and generator expressions materialised through ``list``/``tuple``/
 by ``CheckConfig.hot_path_parts`` (the simulation core and scheduler
 layer); offline/analysis code may comprehend freely.
 
+The rule is *interprocedural* when the whole program is available: a
+helper called from a hot function is itself on the hot path — its
+allocations run once per event too, wherever it lives — so the project
+pass follows the call graph out of the annotated functions and flags
+allocations in everything reachable, naming the hot root in the message.
+
 Deliberately cold constructs on a hot-function line can be waived with
 ``# reprolint: disable=RPL007`` — materialised generator expressions are
 reported at the enclosing builder call so the pragma sits on the call
@@ -20,8 +26,10 @@ line, not the expression's.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Sequence, Set, Union
+from typing import Iterator, List, Sequence, Set, Tuple, Union
 
+from repro.checks.analysis.callgraph import chain_text
+from repro.checks.analysis.project import ProjectContext
 from repro.checks.registry import FileContext, Rule, register_rule
 from repro.checks.violation import Violation
 
@@ -56,43 +64,86 @@ class HotPathAllocationRule(Rule):
                 isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
                 and node.name in config.hot_functions
             ):
-                yield from self._check_function(context, node)
-
-    def _check_function(
-        self, context: FileContext, function: _FunctionNode
-    ) -> Iterator[Violation]:
-        # A genexp materialised by a builder call is reported once, at
-        # the call (where a suppression pragma can live); remember the
-        # wrapped expression so the walk does not re-flag it.
-        claimed: Set[int] = set()
-        for node in ast.walk(function):
-            if isinstance(node, ast.Call):
-                wrapped = _materialised_arguments(node)
-                if wrapped:
-                    for argument in wrapped:
-                        claimed.add(id(argument))
+                for anchor, what in _iter_allocations(node):
                     yield context.violation(
                         self,
-                        node,
-                        f"{_call_name(node)}(...) materialises a generator "
-                        f"on every call of hot function "
-                        f"{function.name!r}; hoist it or keep an "
-                        "incremental structure",
+                        anchor,
+                        f"{what} on every call of hot function "
+                        f"{node.name!r}; hoist it or keep an incremental "
+                        "structure",
                     )
-            elif isinstance(node, _COMPREHENSIONS) and id(node) not in claimed:
-                yield context.violation(
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        """Follow calls out of the hot functions (the interprocedural half).
+
+        Roots — hot-named functions in hot modules — are covered by the
+        per-file pass above; this pass flags the helpers they reach.
+        """
+        config = project.config
+        if not config.hot_path_parts:
+            return
+        roots = {
+            info.function_id
+            for info in project.symbols.functions()
+            if info.qualname.rsplit(".", 1)[-1] in config.hot_functions
+            and _in_scope_module(project, info.module, config.hot_path_parts)
+        }
+        parents = project.calls.reachable_from(sorted(roots))
+        for function_id in sorted(parents):
+            if function_id in roots:
+                continue
+            info = project.symbols.function(function_id)
+            module = project.module_of_function(function_id)
+            if info is None or module is None:
+                continue
+            chain = chain_text(project.calls, parents, function_id)
+            for anchor, what in _iter_allocations(info.node):
+                yield project.violation(
                     self,
-                    node,
-                    f"{_KIND_LABELS[type(node)]} rebuilds a fresh container "
-                    f"on every call of hot function {function.name!r}; "
-                    "hoist it or keep an incremental structure",
+                    module,
+                    anchor,
+                    f"{what} on the per-event hot path: called from a hot "
+                    f"function via {chain}; hoist it or keep an "
+                    "incremental structure",
                 )
+
+
+def _iter_allocations(function: _FunctionNode) -> Iterator[Tuple[ast.AST, str]]:
+    """Per-call container rebuilds in ``function``: (anchor node, what)."""
+    # A genexp materialised by a builder call is reported once, at
+    # the call (where a suppression pragma can live); remember the
+    # wrapped expression so the walk does not re-flag it.
+    claimed: Set[int] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            wrapped = _materialised_arguments(node)
+            if wrapped:
+                for argument in wrapped:
+                    claimed.add(id(argument))
+                yield (
+                    node,
+                    f"{_call_name(node)}(...) materialises a generator",
+                )
+        elif isinstance(node, _COMPREHENSIONS) and id(node) not in claimed:
+            yield (
+                node,
+                f"{_KIND_LABELS[type(node)]} rebuilds a fresh container",
+            )
 
 
 def _in_scope(path: str, hot_path_parts: Sequence[str]) -> bool:
     """True when ``path`` lies in one of the configured hot modules."""
     normalized = path.replace("\\", "/")
     return any(part in normalized for part in hot_path_parts)
+
+
+def _in_scope_module(
+    project: ProjectContext, module: str, hot_path_parts: Sequence[str]
+) -> bool:
+    info = project.modules.get(module)
+    if info is None:
+        return False
+    return _in_scope(info.path, hot_path_parts)
 
 
 def _call_name(node: ast.Call) -> str:

@@ -1,0 +1,78 @@
+"""RPL202 — coroutine calls whose result is silently discarded.
+
+Calling an ``async def`` returns a coroutine object; as a bare expression
+statement it is *dropped* — the body never runs, Python prints a
+``RuntimeWarning`` only if the object is garbage collected with warnings
+enabled, and the bug surfaces as work that silently never happened (a
+drain that never drained, a flush that never flushed).
+
+Cross-module resolution is the point: whether ``service.drain()`` is a
+coroutine depends on how ``drain`` is *defined*, which the per-file view
+of the caller cannot know.  The symbol table resolves the callee across
+imports, ``self`` methods, and aliases; only a confidently-resolved async
+callee fires, so ordinary sync calls never false-positive.
+
+Fix: ``await`` it, or hand it to ``asyncio.create_task`` / ``gather`` and
+retain the handle (see RPL203).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.checks.analysis.callgraph import display_function
+from repro.checks.analysis.project import ProjectContext
+from repro.checks.analysis.symbols import call_name_parts
+from repro.checks.registry import ProjectRule, register_rule
+from repro.checks.violation import Violation
+
+
+@register_rule
+class UnawaitedCoroutineRule(ProjectRule):
+    """Flag fire-and-forget calls to known coroutine functions."""
+
+    code = "RPL202"
+    name = "unawaited-coroutine"
+    summary = "no discarded calls to async def functions (await or task them)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        for info in project.symbols.functions():
+            module = project.module_of_function(info.function_id)
+            if module is None:
+                continue
+            for statement in _own_statements(info.node):
+                if not isinstance(statement, ast.Expr):
+                    continue
+                call = statement.value
+                if not isinstance(call, ast.Call):
+                    continue
+                parts = call_name_parts(call)
+                if parts is None:
+                    continue
+                callee = project.symbols.resolve_call(
+                    info.module, parts, info.class_name
+                )
+                if callee is None or not callee.is_async:
+                    continue
+                yield project.violation(
+                    self,
+                    module,
+                    statement,
+                    f"coroutine {display_function(callee.function_id)}() is "
+                    f"called but never awaited in "
+                    f"{display_function(info.function_id)} — the body never "
+                    "runs; await it or create a task",
+                )
+
+
+def _own_statements(function: ast.AST) -> Iterator[ast.stmt]:
+    """Every statement in ``function``'s own body, skipping nested defs."""
+    stack: List[ast.AST] = list(getattr(function, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,78 @@
+"""RPL203 — fire-and-forget ``create_task`` without a retained reference.
+
+The event loop keeps only a *weak* reference to tasks: a
+``asyncio.create_task(pump())`` whose return value is dropped can be
+garbage collected mid-flight, killing the coroutine at an arbitrary await
+point with no error.  The asyncio docs require callers to hold a
+reference for the task's lifetime (and the serving layer's pump task does
+exactly that).
+
+Flagged: ``asyncio.create_task(...)`` / ``asyncio.ensure_future(...)``
+(alias-expanded) and any ``<obj>.create_task(...)`` /
+``<obj>.ensure_future(...)`` method call — loop objects reached through
+attributes are recognised by method name — appearing as a bare expression
+statement.  Assigning the task, appending it to a collection, awaiting
+it, or passing it on all retain a reference and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.checks.analysis.callgraph import display_function
+from repro.checks.analysis.project import ProjectContext
+from repro.checks.analysis.symbols import call_name_parts, canonical_call_name
+from repro.checks.registry import ProjectRule, register_rule
+from repro.checks.violation import Violation
+
+#: Method names that spawn a task on some loop-like receiver.
+TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+@register_rule
+class OrphanTaskRule(ProjectRule):
+    """Flag task spawns whose handle is immediately discarded."""
+
+    code = "RPL203"
+    name = "orphan-task"
+    summary = "no create_task/ensure_future with a discarded task handle"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        for info in project.symbols.functions():
+            module = project.module_of_function(info.function_id)
+            if module is None:
+                continue
+            symbols = project.symbols.modules[info.module]
+            for statement in _own_statements(info.node):
+                if not isinstance(statement, ast.Expr):
+                    continue
+                call = statement.value
+                # ``await asyncio.ensure_future(...)`` retains implicitly.
+                if not isinstance(call, ast.Call):
+                    continue
+                parts = call_name_parts(call)
+                if parts is None or parts[-1] not in TASK_SPAWNERS:
+                    continue
+                name = canonical_call_name(symbols, call) or ".".join(parts)
+                yield project.violation(
+                    self,
+                    module,
+                    statement,
+                    f"{name}(...) in {display_function(info.function_id)} "
+                    "discards the task handle — the loop holds only a weak "
+                    "reference and the task can be garbage collected "
+                    "mid-flight; keep the returned task",
+                )
+
+
+def _own_statements(function: ast.AST) -> Iterator[ast.stmt]:
+    """Every statement in ``function``'s own body, skipping nested defs."""
+    stack: List[ast.AST] = list(getattr(function, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

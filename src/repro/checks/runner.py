@@ -1,18 +1,29 @@
-"""File discovery and rule execution."""
+"""File discovery and rule execution (per-file and whole-program)."""
 
 from __future__ import annotations
 
 import ast
 import os
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Collection,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 #: Anything acceptable as a lint target path.
 PathSpec = Union[str, "os.PathLike[str]"]
 
 from repro.checks.config import CheckConfig
 from repro.checks.registry import FileContext, Rule, all_rules
-from repro.checks.suppression import scan_pragmas
+from repro.checks.suppression import SuppressionIndex, scan_pragmas
 from repro.checks.violation import Violation
 
 #: Directory names never descended into during discovery.
@@ -38,12 +49,6 @@ class CheckReport:
         return 0 if self.ok else 1
 
 
-@dataclass(frozen=True)
-class _SourceFile:
-    path: str
-    source: str
-
-
 def iter_python_files(paths: Sequence[PathSpec]) -> Iterator[str]:
     """Yield ``.py`` files under ``paths`` (files are yielded verbatim)."""
     for path in (os.fspath(p) for p in paths):
@@ -67,29 +72,54 @@ def check_source(
     config: Optional[CheckConfig] = None,
     rules: Optional[Iterable[Rule]] = None,
 ) -> List[Violation]:
-    """Lint one source string; raises ``SyntaxError`` on unparseable input."""
+    """Lint one source string; raises ``SyntaxError`` on unparseable input.
+
+    Project rules run over a single-module project, so determinism- and
+    asyncio-family findings local to the snippet still fire (the supplied
+    ``path`` decides which scopes the snippet's module lands in).
+    """
     config = config if config is not None else CheckConfig()
     tree = ast.parse(source, filename=path)
     context = FileContext(path=path, source=source, tree=tree, config=config)
     suppressions = scan_pragmas(source)
+    rule_list = list(rules) if rules is not None else all_rules()
     found: List[Violation] = []
-    for rule in rules if rules is not None else all_rules():
+    for rule in rule_list:
         if not config.rule_enabled(rule.code):
             continue
         for violation in rule.check(context):
             if not suppressions.is_suppressed(violation):
                 found.append(violation)
-    return sorted(found)
+    found.extend(
+        _run_project_rules(
+            [(path, source, tree)], {path: suppressions}, config, rule_list
+        )
+    )
+    return sorted(set(found))
 
 
 def check_paths(
     paths: Sequence[PathSpec],
     config: Optional[CheckConfig] = None,
     rules: Optional[Iterable[Rule]] = None,
+    restrict_to: Optional[Collection[str]] = None,
 ) -> CheckReport:
-    """Lint every Python file under ``paths`` and aggregate the findings."""
+    """Lint every Python file under ``paths`` and aggregate the findings.
+
+    ``restrict_to`` limits *reported* findings to the given files (compared
+    by normalised path) while the whole-program context is still built over
+    everything discovered — the ``lint --changed`` fast path: cross-module
+    rules stay sound, output stays scoped to the edited files.
+    """
     config = config if config is not None else CheckConfig()
     rule_list = list(rules) if rules is not None else all_rules()
+    restricted: Optional[FrozenSet[str]] = (
+        None
+        if restrict_to is None
+        else frozenset(os.path.abspath(os.fspath(p)) for p in restrict_to)
+    )
+    sources: List[Tuple[str, str, ast.Module]] = []
+    suppressions: Dict[str, SuppressionIndex] = {}
     violations: List[Violation] = []
     parse_errors: List[Tuple[str, str]] = []
     files_checked = 0
@@ -102,11 +132,56 @@ def check_paths(
             parse_errors.append((path, f"unreadable: {exc}"))
             continue
         try:
-            violations.extend(check_source(source, path, config, rule_list))
+            tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
             parse_errors.append((path, f"syntax error: {exc.msg} (line {exc.lineno})"))
+            continue
+        sources.append((path, source, tree))
+        index = scan_pragmas(source)
+        suppressions[path] = index
+        if not _selected(path, restricted):
+            continue
+        context = FileContext(path=path, source=source, tree=tree, config=config)
+        for rule in rule_list:
+            if not config.rule_enabled(rule.code):
+                continue
+            for violation in rule.check(context):
+                if not index.is_suppressed(violation):
+                    violations.append(violation)
+    for violation in _run_project_rules(sources, suppressions, config, rule_list):
+        if _selected(violation.path, restricted):
+            violations.append(violation)
     return CheckReport(
-        violations=tuple(sorted(violations)),
+        violations=tuple(sorted(set(violations))),
         parse_errors=tuple(sorted(parse_errors)),
         files_checked=files_checked,
     )
+
+
+def _run_project_rules(
+    sources: Sequence[Tuple[str, str, ast.Module]],
+    suppressions: Dict[str, SuppressionIndex],
+    config: CheckConfig,
+    rules: Sequence[Rule],
+) -> List[Violation]:
+    """Build the whole-program context and run every project-aware rule."""
+    if not sources:
+        return []
+    # Imported here: the analysis package pulls in the registry, which this
+    # module feeds — a local import keeps the module graph acyclic.
+    from repro.checks.analysis.project import build_project
+
+    project = build_project(sources, config)
+    found: List[Violation] = []
+    empty = SuppressionIndex()
+    for rule in rules:
+        if not config.rule_enabled(rule.code):
+            continue
+        for violation in rule.check_project(project):
+            if not suppressions.get(violation.path, empty).is_suppressed(violation):
+                found.append(violation)
+    return found
+
+
+def _selected(path: str, restricted: Optional[FrozenSet[str]]) -> bool:
+    return restricted is None or os.path.abspath(path) in restricted

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.disk.geometry import CHEETAH_15K5_GEOMETRY, DiskGeometry
 from repro.errors import ConfigurationError
@@ -109,7 +110,9 @@ class PositionAwareServiceModel(ServiceTimeModel):
         return self._geometry
 
     @classmethod
-    def factory(cls, geometry: DiskGeometry = CHEETAH_15K5_GEOMETRY):
+    def factory(
+        cls, geometry: DiskGeometry = CHEETAH_15K5_GEOMETRY
+    ) -> Callable[[], "PositionAwareServiceModel"]:
         """A zero-argument constructor for per-disk instantiation."""
         return lambda: cls(geometry)
 

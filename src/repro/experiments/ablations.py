@@ -22,14 +22,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.idleness import period_summary, standby_periods_of_report
 from repro.analysis.tables import format_series_table
-from repro.cache.policy import LRUBlockCache, PowerAwareLRUCache
+from repro.cache.policy import BlockCache, LRUBlockCache, PowerAwareLRUCache
 from repro.core.covering_scheduler import CoveringSetScheduler
 from repro.core.heuristic import HeuristicScheduler
 from repro.core.mwis import MWISOfflineScheduler
 from repro.core.offline import OfflineEvaluator
 from repro.core.prediction import PredictiveHeuristicScheduler
 from repro.core.problem import SchedulingProblem
-from repro.core.scheduler import OnlineScheduler
+from repro.core.scheduler import OnlineScheduler, SystemView
 from repro.core.writeoffload import WriteOffloadingScheduler
 from repro.core.wsc import WSCBatchScheduler
 from repro.errors import ConfigurationError
@@ -50,7 +50,7 @@ from repro.traces.synthetic import (
     inter_arrival_gaps,
 )
 from repro.traces.workload import Workload
-from repro.types import DiskId
+from repro.types import DiskId, Request
 
 from dataclasses import replace
 
@@ -61,7 +61,7 @@ class Panel:
 
     name: str
     x_label: str
-    x_values: Sequence
+    x_values: Sequence[object]
     series: Dict[str, List[float]]
     precision: int = 3
 
@@ -115,13 +115,13 @@ class _RecordingScheduler(OnlineScheduler):
         self._inner = inner
         self.chains: Dict[DiskId, List[float]] = {}
 
-    def choose(self, request, view):
+    def choose(self, request: Request, view: SystemView) -> DiskId:
         disk_id = self._inner.choose(request, view)
         self.chains.setdefault(disk_id, []).append(view.now)
         return disk_id
 
     @property
-    def name(self):
+    def name(self) -> str:
         return self._inner.name
 
 
@@ -244,7 +244,7 @@ def run_cache(scale: Optional[float] = None) -> AblationResult:
     hit_ratios: List[float] = []
     responses: List[float] = []
 
-    def run(label: str, factory) -> None:
+    def run(label: str, factory: Optional[Callable[[], BlockCache]]) -> None:
         nonlocal events
         config = (
             base_config

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.scheduler import Scheduler
 from repro.experiments.harness import cache as harness_cache
@@ -44,9 +44,11 @@ from repro.experiments.harness.spec import (
     baseline_spec,
     cell_spec,
 )
+from repro.placement.catalog import PlacementCatalog
 from repro.report import SimulationReport
 from repro.sim import SimulationConfig
 from repro.traces import Workload
+from repro.types import Request
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 MWIS_SCALE = float(os.environ.get("REPRO_MWIS_SCALE", "0.15"))
@@ -66,7 +68,7 @@ SCHEDULER_LABELS = {
 }
 
 _run_cache: Dict[RunSpec, "RunResult"] = {}
-_payload_cache: Dict[RunSpec, Dict] = {}
+_payload_cache: Dict[RunSpec, Dict[str, Any]] = {}
 _baseline_cache: Dict[RunSpec, SimulationReport] = {}
 _persistent_cache: Optional[RunCache] = None
 
@@ -153,7 +155,7 @@ def get_binding(
     zipf_exponent: float = 1.0,
     scale: Optional[float] = None,
     seed: Optional[int] = None,
-):
+) -> Tuple[Sequence[Request], PlacementCatalog, int]:
     """Cached (requests, catalog, num_disks) for one placement."""
     return harness_runner.get_binding(
         trace,
@@ -181,7 +183,7 @@ def make_scheduler_for_key(
     return harness_runner.make_scheduler(spec)
 
 
-def _fetch_payload(spec: RunSpec) -> Dict:
+def _fetch_payload(spec: RunSpec) -> Dict[str, Any]:
     """Payload for a spec: in-memory memo, disk cache, or fresh compute."""
     cached = _payload_cache.get(spec)
     if cached is not None:
@@ -194,7 +196,7 @@ def _fetch_payload(spec: RunSpec) -> Dict:
     return payload
 
 
-def prime_payloads(payloads: Mapping[RunSpec, Dict]) -> None:
+def prime_payloads(payloads: Mapping[RunSpec, Dict[str, Any]]) -> None:
     """Seed the in-memory payload memo (the sweep runner's hand-off)."""
     _payload_cache.update(payloads)
 

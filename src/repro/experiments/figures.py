@@ -16,7 +16,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import common
 from repro.experiments.common import REPLICATION_FACTORS, SCHEDULER_LABELS, run_cell
 from repro.power.profile import PAPER_EVAL
-from repro.power.states import STATE_ORDER
+from repro.power.states import STATE_ORDER, DiskPowerState
 
 
 @dataclass
@@ -26,7 +26,7 @@ class FigureResult:
     figure_id: str
     title: str
     x_label: str
-    x_values: Sequence
+    x_values: Sequence[object]
     series: Mapping[str, Sequence[float]]
     notes: List[str] = field(default_factory=list)
     precision: int = 3
@@ -162,7 +162,7 @@ class BreakdownResult:
 
     figure_id: str
     title: str
-    panels: Mapping[str, List[Dict]]
+    panels: Mapping[str, List[Dict[DiskPowerState, float]]]
 
     def render(self) -> str:
         """All panels as sampled per-disk breakdown tables."""
@@ -177,8 +177,6 @@ class BreakdownResult:
         fractions = self.panels[panel]
         if not fractions:
             return 0.0
-        from repro.power.states import DiskPowerState
-
         return sum(f[DiskPowerState.STANDBY] for f in fractions) / len(fractions)
 
 
@@ -315,7 +313,9 @@ def fig12(trace: str = "cello") -> FigureResult:
     )
 
 
-def _icdf(values: Sequence[float], thresholds: Sequence[float]):
+def _icdf(
+    values: Sequence[float], thresholds: Sequence[float]
+) -> List[Tuple[float, float]]:
     from repro.analysis.distributions import inverse_cdf
 
     return inverse_cdf(values, thresholds)
@@ -391,7 +391,7 @@ FIGURES = {
 }
 
 
-def run_figure(figure_id: str):
+def run_figure(figure_id: str) -> FigureResult:
     """Dispatch by figure id (used by the CLI)."""
     try:
         factory = FIGURES[figure_id]

@@ -100,11 +100,11 @@ def generate_cello_like(
     ).generate(config.num_requests, rng)
     popularity = ZipfPopularity(config.num_data, config.popularity_exponent)
     records = []
-    for time in arrivals:
+    for arrival in arrivals:
         op = OpKind.READ if rng.random() < config.read_fraction else OpKind.WRITE
         records.append(
             TraceRecord(
-                time=time,
+                time=arrival,
                 data_key=popularity.sample(rng),
                 op=op,
                 size_bytes=config.size_bytes,

@@ -1,0 +1,247 @@
+"""Baseline mechanics: fingerprinting, round-trips, staleness, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.checks import main
+from repro.checks.baseline import (
+    BASELINE_FILENAME,
+    BaselineError,
+    apply_baseline,
+    find_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.runner import CheckReport, check_paths
+from repro.checks.violation import Violation
+
+MUTABLE_DEFAULT = "def collect(bucket=[]):\n    return bucket\n"
+
+
+def lint_dir(tmp_path):
+    (tmp_path / "bad.py").write_text(MUTABLE_DEFAULT)
+    return check_paths([tmp_path])
+
+
+# ------------------------------------------------------------- round trip
+
+
+def test_write_then_apply_suppresses_the_finding(tmp_path):
+    report = lint_dir(tmp_path)
+    assert report.exit_code == 1
+    target = tmp_path / BASELINE_FILENAME
+    write_baseline(report, str(target))
+    outcome = apply_baseline(report, load_baseline(str(target)))
+    assert outcome.report.violations == ()
+    assert outcome.report.exit_code == 0
+    assert len(outcome.suppressed) == 1
+    assert outcome.stale == ()
+    assert outcome.ok
+
+
+def test_fixed_finding_turns_the_entry_stale(tmp_path):
+    report = lint_dir(tmp_path)
+    target = tmp_path / BASELINE_FILENAME
+    write_baseline(report, str(target))
+    (tmp_path / "bad.py").write_text("def collect(bucket=()):\n    return bucket\n")
+    outcome = apply_baseline(check_paths([tmp_path]), load_baseline(str(target)))
+    assert outcome.report.violations == ()
+    assert len(outcome.stale) == 1
+    assert not outcome.ok  # a clean report with stale debt still fails
+
+
+def test_matching_is_line_insensitive(tmp_path):
+    report = lint_dir(tmp_path)
+    target = tmp_path / BASELINE_FILENAME
+    write_baseline(report, str(target))
+    # Push the finding down two lines; the fingerprint must still match.
+    (tmp_path / "bad.py").write_text("X = 1\nY = 2\n" + MUTABLE_DEFAULT)
+    outcome = apply_baseline(check_paths([tmp_path]), load_baseline(str(target)))
+    assert outcome.report.violations == ()
+    assert outcome.stale == ()
+
+
+def test_changed_message_is_a_new_finding():
+    report = CheckReport(
+        violations=(
+            Violation(path="a.py", line=1, column=1, code="RPL005", message="new"),
+        ),
+        files_checked=1,
+    )
+    baseline = write_baseline(
+        CheckReport(
+            violations=(
+                Violation(
+                    path="a.py", line=1, column=1, code="RPL005", message="old"
+                ),
+            ),
+            files_checked=1,
+        ),
+        path="/dev/null",
+    )
+    # /dev/null is never re-read; we only exercise the in-memory matcher.
+    outcome = apply_baseline(report, baseline)
+    assert len(outcome.report.violations) == 1
+    assert len(outcome.stale) == 1
+
+
+def test_rewrite_carries_existing_justifications(tmp_path):
+    report = lint_dir(tmp_path)
+    target = tmp_path / BASELINE_FILENAME
+    first = write_baseline(report, str(target))
+    edited = json.loads(target.read_text())
+    edited["entries"][0]["justification"] = "triaged: demo fixture"
+    target.write_text(json.dumps(edited))
+    second = write_baseline(report, str(target), existing=load_baseline(str(target)))
+    assert second.entries[0].justification == "triaged: demo fixture"
+    assert first.entries[0].justification != "triaged: demo fixture"
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_justification_is_mandatory(tmp_path):
+    target = tmp_path / BASELINE_FILENAME
+    target.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"path": "a.py", "code": "RPL005", "message": "m"}
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        load_baseline(str(target))
+
+
+def test_blank_justification_is_rejected(tmp_path):
+    target = tmp_path / BASELINE_FILENAME
+    target.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "path": "a.py",
+                        "code": "RPL005",
+                        "message": "m",
+                        "justification": "   ",
+                    }
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        load_baseline(str(target))
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    target = tmp_path / BASELINE_FILENAME
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError, match="version"):
+        load_baseline(str(target))
+
+
+def test_unknown_fields_are_rejected(tmp_path):
+    target = tmp_path / BASELINE_FILENAME
+    target.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "path": "a.py",
+                        "code": "RPL005",
+                        "message": "m",
+                        "justification": "ok",
+                        "line": 3,
+                    }
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="unknown field"):
+        load_baseline(str(target))
+
+
+def test_malformed_json_is_rejected(tmp_path):
+    target = tmp_path / BASELINE_FILENAME
+    target.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(str(target))
+
+
+# -------------------------------------------------------------- discovery
+
+
+def test_find_baseline_walks_upward(tmp_path):
+    (tmp_path / BASELINE_FILENAME).write_text("{}")
+    nested = tmp_path / "src" / "pkg"
+    nested.mkdir(parents=True)
+    assert find_baseline(str(nested)) == str(tmp_path / BASELINE_FILENAME)
+
+
+def test_find_baseline_returns_none_when_absent(tmp_path):
+    nested = tmp_path / "src"
+    nested.mkdir()
+    assert find_baseline(str(nested)) is None
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_write_then_lint_round_trip(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(MUTABLE_DEFAULT)
+    target = tmp_path / BASELINE_FILENAME
+    assert main([str(tmp_path), "--write-baseline", "--baseline", str(target)]) == 0
+    assert main([str(tmp_path)]) == 0  # discovered by the upward walk
+    assert main([str(tmp_path), "--no-baseline"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_fails_on_stale_entry(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(MUTABLE_DEFAULT)
+    target = tmp_path / BASELINE_FILENAME
+    assert main([str(tmp_path), "--write-baseline", "--baseline", str(target)]) == 0
+    bad.write_text("def collect(bucket=()):\n    return bucket\n")
+    assert main([str(tmp_path)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_cli_rejects_entries_without_justification(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(MUTABLE_DEFAULT)
+    target = tmp_path / BASELINE_FILENAME
+    target.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"path": "bad.py", "code": "RPL005", "message": "m"}
+                ],
+            }
+        )
+    )
+    assert main([str(tmp_path), "--baseline", str(target)]) == 2
+    assert "justification" in capsys.readouterr().err
+
+
+def test_cli_baseline_matches_across_directories(tmp_path, capsys):
+    """Entry paths are relative to the baseline file, not the cwd."""
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "bad.py").write_text(MUTABLE_DEFAULT)
+    target = tmp_path / BASELINE_FILENAME
+    assert main([str(package), "--write-baseline", "--baseline", str(target)]) == 0
+    entry = json.loads(target.read_text())["entries"][0]
+    assert entry["path"] == "pkg/bad.py"
+    assert main([str(package)]) == 0
+    capsys.readouterr()

@@ -174,6 +174,35 @@ def test_cli_list_rules(capsys):
         assert rule.code in out
 
 
+def test_cli_changed_mode_reports_only_edited_files(tmp_path, capsys, monkeypatch):
+    """--changed scopes findings to files edited versus HEAD."""
+    monkeypatch.chdir(tmp_path)
+    git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+    subprocess.run([*git, "init", "-q"], check=True)
+    (tmp_path / "bad.py").write_text(MUTABLE_DEFAULT)
+    (tmp_path / "good.py").write_text("X = 1\n")
+    subprocess.run([*git, "add", "."], check=True)
+    subprocess.run([*git, "commit", "-q", "-m", "seed"], check=True)
+    # Nothing changed: nothing to lint, exit 0 despite bad.py's finding.
+    assert main([".", "--changed"]) == 0
+    capsys.readouterr()
+    # Touch only the clean file: still 0 (bad.py is out of scope).
+    (tmp_path / "good.py").write_text("X = 2\n")
+    assert main([".", "--changed"]) == 0
+    capsys.readouterr()
+    # Touch the bad file: its finding is now in scope.
+    (tmp_path / "bad.py").write_text(MUTABLE_DEFAULT + "\n")
+    assert main([".", "--changed"]) == 1
+    assert "RPL005" in capsys.readouterr().out
+
+
+def test_cli_changed_mode_requires_git(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+    assert main([".", "--changed"]) == 2
+    assert "git" in capsys.readouterr().err
+
+
 def test_module_entry_point_runs_as_script(tmp_path):
     """`python -m repro.checks` works and propagates the exit code."""
     bad = tmp_path / "bad.py"

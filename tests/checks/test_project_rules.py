@@ -1,0 +1,453 @@
+"""Whole-program rule families: determinism (RPL1xx), asyncio (RPL2xx),
+layering (RPL3xx), and the interprocedural half of RPL007.
+
+Single-module behaviour is driven through ``check_source`` with crafted
+paths (the path decides which scopes the snippet lands in); cross-module
+behaviour — call chains, import contracts — is driven through
+``check_paths`` over synthetic packages built on ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, List
+
+from repro.checks import check_paths, check_source
+
+SIM_PATH = "src/repro/sim/engine.py"
+ANALYSIS_PATH = "src/repro/analysis/agg.py"
+
+
+def codes(source: str, path: str = SIM_PATH) -> List[str]:
+    return [v.code for v in check_source(textwrap.dedent(source), path=path)]
+
+
+def project(tmp_path, files: Dict[str, str]):
+    """Materialise ``files`` under ``tmp_path/src`` and lint the tree.
+
+    Package ``__init__.py`` files are created for every directory so the
+    filesystem-based module naming resolves dotted names.
+    """
+    root = tmp_path / "src"
+    for relative, content in files.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content))
+        package_dir = target.parent
+        while package_dir != root:
+            marker = package_dir / "__init__.py"
+            if not marker.exists():
+                marker.write_text("")
+            package_dir = package_dir.parent
+    return check_paths([root])
+
+
+# ---------------------------------------------------------------- RPL101
+
+
+def test_rpl101_flags_wall_clock_in_sim_function():
+    source = """
+        import time
+
+        def advance(queue):
+            return time.time()
+    """
+    assert "RPL101" in codes(source)
+
+
+def test_rpl101_flags_aliased_import():
+    source = """
+        from time import monotonic
+
+        def advance(queue):
+            return monotonic()
+    """
+    assert "RPL101" in codes(source)
+
+
+def test_rpl101_flags_import_time_call():
+    source = """
+        import time
+
+        STARTED = time.time()
+    """
+    assert "RPL101" in codes(source)
+
+
+def test_rpl101_ignores_code_outside_the_determinism_scope():
+    source = """
+        import time
+
+        def advance(queue):
+            return time.time()
+    """
+    assert "RPL101" not in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl101_follows_calls_into_helper_modules(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/sim/engine.py": """
+                from repro.util.clock import stamp
+
+                def advance(queue):
+                    return stamp()
+            """,
+            "repro/util/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL101"]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("clock.py")
+    assert "repro.sim.engine.advance -> repro.util.clock.stamp" in (
+        findings[0].message
+    )
+
+
+# ---------------------------------------------------------------- RPL102
+
+
+def test_rpl102_flags_optional_seed_reaching_rng():
+    source = """
+        import random
+
+        def simulate(seed=None):
+            return random.Random(seed)
+    """
+    assert "RPL102" in codes(source)
+
+
+def test_rpl102_flags_seed_keyword():
+    source = """
+        import numpy
+
+        def simulate(seed=None):
+            return numpy.random.default_rng(seed=seed)
+    """
+    assert "RPL102" in codes(source)
+
+
+def test_rpl102_passes_with_a_concrete_default():
+    source = """
+        import random
+
+        def simulate(seed=0):
+            return random.Random(seed)
+    """
+    assert "RPL102" not in codes(source)
+
+
+def test_rpl102_ignores_out_of_scope_modules():
+    source = """
+        import random
+
+        def simulate(seed=None):
+            return random.Random(seed)
+    """
+    assert "RPL102" not in codes(source, path=ANALYSIS_PATH)
+
+
+# ---------------------------------------------------------------- RPL103
+
+
+def test_rpl103_flags_set_iteration_in_serialiser():
+    source = """
+        def as_dict(flags):
+            out = []
+            for flag in {"a", "b"} | flags:
+                out.append(flag)
+            return out
+    """
+    assert "RPL103" in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl103_flags_list_materialisation_of_a_set():
+    source = """
+        def to_json(entries):
+            return list(set(entries))
+    """
+    assert "RPL103" in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl103_passes_when_sorted():
+    source = """
+        def as_dict(flags):
+            return sorted({"a", "b"} | flags)
+    """
+    assert "RPL103" not in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl103_ignores_non_serialisation_functions():
+    source = """
+        def shuffle(flags):
+            return list(set(flags))
+    """
+    assert "RPL103" not in codes(source, path=ANALYSIS_PATH)
+
+
+# ---------------------------------------------------------------- RPL201
+
+
+def test_rpl201_flags_blocking_call_in_async_def():
+    source = """
+        import time
+
+        async def pump(queue):
+            time.sleep(0.1)
+    """
+    assert "RPL201" in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl201_passes_on_asyncio_sleep():
+    source = """
+        import asyncio
+
+        async def pump(queue):
+            await asyncio.sleep(0.1)
+    """
+    assert "RPL201" not in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl201_follows_sync_helpers_called_from_async(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/serve/app.py": """
+                from repro.util.net import fetch
+
+                async def pump(queue):
+                    return fetch()
+            """,
+            "repro/util/net.py": """
+                import time
+
+                def fetch():
+                    time.sleep(1.0)
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL201"]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("net.py")
+    assert "repro.serve.app.pump -> repro.util.net.fetch" in findings[0].message
+
+
+def test_rpl201_does_not_cross_into_other_async_functions():
+    # ``await helper()`` runs on the loop, not inline: helper is its own
+    # root, and only *its* body decides whether it blocks.
+    source = """
+        import asyncio
+
+        async def helper():
+            await asyncio.sleep(0.1)
+
+        async def pump(queue):
+            await helper()
+    """
+    assert "RPL201" not in codes(source, path=ANALYSIS_PATH)
+
+
+# ---------------------------------------------------------------- RPL202
+
+
+def test_rpl202_flags_bare_coroutine_call():
+    source = """
+        async def flush(queue):
+            pass
+
+        async def pump(queue):
+            flush(queue)
+    """
+    assert "RPL202" in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl202_passes_when_awaited():
+    source = """
+        async def flush(queue):
+            pass
+
+        async def pump(queue):
+            await flush(queue)
+    """
+    assert "RPL202" not in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl202_resolves_coroutines_across_modules(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/serve/app.py": """
+                async def flush(queue):
+                    pass
+            """,
+            "repro/serve/loop.py": """
+                from repro.serve.app import flush
+
+                def drain(queue):
+                    flush(queue)
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL202"]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("loop.py")
+
+
+# ---------------------------------------------------------------- RPL203
+
+
+def test_rpl203_flags_discarded_task_handle():
+    source = """
+        import asyncio
+
+        async def boot(queue):
+            asyncio.create_task(queue.drain())
+    """
+    assert "RPL203" in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl203_flags_loop_method_spawn():
+    source = """
+        def boot(loop, queue):
+            loop.create_task(queue.drain())
+    """
+    assert "RPL203" in codes(source, path=ANALYSIS_PATH)
+
+
+def test_rpl203_passes_when_the_task_is_retained():
+    source = """
+        import asyncio
+
+        async def boot(queue):
+            task = asyncio.create_task(queue.drain())
+            return task
+    """
+    assert "RPL203" not in codes(source, path=ANALYSIS_PATH)
+
+
+# ---------------------------------------------------------------- RPL301
+
+
+def test_rpl301_forbids_core_importing_serve(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/core/sched.py": """
+                from repro.serve.app import launch
+
+                def plan(requests):
+                    return launch(requests)
+            """,
+            "repro/serve/app.py": """
+                def launch(requests):
+                    return requests
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL301"]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("sched.py")
+    assert "forbidden by the layering contract" in findings[0].message
+
+
+def test_rpl301_restricts_checks_to_the_foundation(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/checks/tool.py": """
+                from repro.sim.engine import advance
+
+                def lint(tree):
+                    return advance(tree)
+            """,
+            "repro/sim/engine.py": """
+                def advance(queue):
+                    return queue
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL301"]
+    assert len(findings) == 1
+    assert "may only import" in findings[0].message
+
+
+def test_rpl301_allows_downward_imports(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/serve/app.py": """
+                from repro.core.sched import plan
+
+                def launch(requests):
+                    return plan(requests)
+            """,
+            "repro/core/sched.py": """
+                def plan(requests):
+                    return requests
+            """,
+        },
+    )
+    assert all(v.code != "RPL301" for v in report.violations)
+
+
+# ------------------------------------------------- RPL007 interprocedural
+
+
+def test_rpl007_follows_calls_out_of_hot_functions(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/core/hot.py": """
+                from repro.util.agg import gather
+
+                def cost(disk, request):
+                    return gather(disk)
+            """,
+            "repro/util/agg.py": """
+                def gather(disk):
+                    return [q.size for q in disk.queue]
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL007"]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("agg.py")
+    assert "repro.core.hot.cost -> repro.util.agg.gather" in findings[0].message
+
+
+def test_rpl007_helper_is_exempt_when_not_reached(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/core/cold.py": """
+                from repro.util.agg import gather
+
+                def summarise(disk):
+                    return gather(disk)
+            """,
+            "repro/util/agg.py": """
+                def gather(disk):
+                    return [q.size for q in disk.queue]
+            """,
+        },
+    )
+    assert all(v.code != "RPL007" for v in report.violations)
+
+
+# ---------------------------------------------------------------- pragmas
+
+
+def test_project_findings_respect_line_pragmas():
+    source = """
+        import time
+
+        def advance(queue):
+            return time.time()  # reprolint: disable=RPL101
+    """
+    assert "RPL101" not in codes(source)

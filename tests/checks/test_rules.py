@@ -430,7 +430,11 @@ def test_rpl007_pragma_waives_the_call_line():
 
 
 def test_every_rule_has_a_failing_fixture():
-    """Meta-check: the suite above exercises each registered code."""
+    """Meta-check: every registered code has fixture coverage.
+
+    RPL001–007 are exercised above; the whole-program families
+    (RPL1xx/RPL2xx/RPL3xx) are exercised in ``test_project_rules.py``.
+    """
     from repro.checks import all_rules
 
     exercised = {
@@ -441,6 +445,13 @@ def test_every_rule_has_a_failing_fixture():
         "RPL005",
         "RPL006",
         "RPL007",
+        "RPL101",
+        "RPL102",
+        "RPL103",
+        "RPL201",
+        "RPL202",
+        "RPL203",
+        "RPL301",
     }
     assert {rule.code for rule in all_rules()} == exercised
 

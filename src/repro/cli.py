@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from repro.analysis.tables import format_table
 from repro.checks.cli import add_lint_arguments, run_lint_args
@@ -194,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replication", type=int, default=3)
     serve.add_argument("--seed", type=int, default=3)
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the fleet across N worker processes behind the "
+        "consistent-hash router (1 = single-process service)",
+    )
+    serve.add_argument(
         "--drain-grace",
         type=float,
         default=2.0,
@@ -338,7 +346,6 @@ def _run_serve(args: argparse.Namespace) -> int:
     """Run one serving session per requested policy, write the reports."""
     # Imported lazily: the serving stack is only needed here.
     import asyncio
-    from pathlib import Path
 
     from repro.serve import (
         LoadgenConfig,
@@ -355,6 +362,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     )
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
+    if args.shards > 1:
+        return _run_serve_sharded(args, policies, output_dir)
     for policy in policies:
         service = SchedulingService(
             ServiceConfig(
@@ -401,6 +410,74 @@ def _run_serve(args: argparse.Namespace) -> int:
             asyncio.run(session())
         else:
             virtual_run(session())
+    return 0
+
+
+def _run_serve_sharded(
+    args: argparse.Namespace,
+    policies: Tuple[str, ...],
+    output_dir: Path,
+) -> int:
+    """Run one sharded deployment per policy, write the merged reports.
+
+    Writes the same ``SERVE_<policy>.json`` filenames as the unsharded
+    path, so CI's byte-compare determinism checks work unchanged.
+    """
+    from repro.serve.loadgen import LoadgenConfig
+    from repro.serve.reporting import write_serve_document
+    from repro.serve.shard import (
+        ShardedServiceConfig,
+        run_sharded,
+        sharded_document,
+    )
+
+    if args.wall:
+        print(
+            "error: --wall is single-process only; sharded runs are "
+            "virtual-clock by construction",
+            file=sys.stderr,
+        )
+        return 2
+    if args.loop != "open":
+        print(
+            "error: --shards needs an open-loop schedule; closed-loop "
+            "sessions are single-process only",
+            file=sys.stderr,
+        )
+        return 2
+    for policy in policies:
+        config = ShardedServiceConfig(
+            policy=policy,
+            num_shards=args.shards,
+            num_disks=args.disks,
+            replication_factor=args.replication,
+            seed=args.seed,
+            queue_limit=args.queue_limit,
+            client_rate_per_s=args.client_rate,
+            window_s=args.window,
+            max_batch=args.max_batch,
+            drain_grace_s=args.drain_grace,
+        )
+        load = LoadgenConfig(
+            num_requests=args.requests,
+            rate_per_s=args.rate,
+            num_clients=args.clients,
+            arrival=args.arrival,
+            seed=args.seed,
+        )
+        run = run_sharded(config, load)
+        document = sharded_document(config, load, run)
+        name = policy.replace("-", "_")
+        path = write_serve_document(document, output_dir / f"SERVE_{name}.json")
+        outcome = document["result"]["outcome"]
+        print(f"wrote {path}")
+        print(
+            f"  {policy} x{args.shards} shards: "
+            f"{outcome['completed']}/{outcome['offered']} completed, "
+            f"{outcome['rejected']} rejected, "
+            f"{run.events_processed} events, "
+            f"critical path {run.critical_path_s:.2f}s wall"
+        )
     return 0
 
 

@@ -56,6 +56,7 @@ from repro.experiments.harness.runner import SweepOutcome, SweepRunner
 from repro.experiments.harness.schema import BENCH_SCHEMA, validate_bench_payload
 from repro.experiments.harness.spec import RunSpec, baseline_of, cell_spec
 from repro.experiments.headline import headline_claims
+from repro.experiments.serve_scale import run_serve_scale
 from repro.experiments.serve_sweep import run_serve_sweep
 
 ALL_KEYS = ("random", "static", "heuristic", "wsc", "mwis")
@@ -315,6 +316,12 @@ def _serve_sweep_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
     return _ablation_result_payload(result), result.events_processed
 
 
+def _serve_scale_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
+    # Sharded cells run live in worker processes; no run cache either.
+    result = run_serve_scale(scale)
+    return _ablation_result_payload(result), result.events_processed
+
+
 def _build_registry() -> Dict[str, BenchDefinition]:
     registry: Dict[str, BenchDefinition] = {}
 
@@ -387,6 +394,12 @@ def _build_registry() -> Dict[str, BenchDefinition]:
         "live serving: online vs micro-batch across arrival rates",
         _no_specs,
         _serve_sweep_result,
+    )
+    add(
+        "serve_scale",
+        "sharded serving: aggregate events/sec across 1/2/4/8 shards",
+        _no_specs,
+        _serve_scale_result,
     )
     for ablation_id in ABLATIONS:
         add(

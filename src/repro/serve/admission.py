@@ -27,6 +27,10 @@ class RejectReason(enum.Enum):
     RATE_LIMITED = "rate_limited"
     #: The service is draining; no new work is accepted.
     SHUTTING_DOWN = "shutting_down"
+    #: The shard owning the requested data is down (sharded serving);
+    #: every replica lives on that shard, so the request cannot be
+    #: re-routed and the router sheds it.
+    SHARD_DOWN = "shard_down"
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.placement.zipf import ZipfSampler
@@ -132,6 +132,11 @@ class LoadResult:
         ]
 
 
+def tally_outcomes(outcomes: Sequence[Outcome]) -> LoadResult:
+    """Public tally over any outcome sequence (the sharded router's merge)."""
+    return _tally(list(outcomes))
+
+
 def _tally(outcomes: List[Outcome]) -> LoadResult:
     completed = sum(1 for o in outcomes if isinstance(o, Completed))
     by_reason = {reason: 0 for reason in RejectReason}
@@ -151,6 +156,27 @@ def _tally(outcomes: List[Outcome]) -> LoadResult:
     )
 
 
+def open_loop_schedule(
+    config: LoadgenConfig, num_data: int
+) -> List[Tuple[float, str, int]]:
+    """Precompute one open-loop stream: ``(arrival_s, client_id, data_id)``.
+
+    The draw order is exactly :func:`run_open_loop`'s — all arrival
+    instants first, then all data ids from the same seeded stream — so a
+    schedule consumer (the sharded router partitions this stream across
+    shard workers) sees byte-identical workloads to a live unsharded
+    session with the same :class:`LoadgenConfig`.
+    """
+    rng = random.Random(config.seed)
+    times_s = config.arrival_process().generate(config.num_requests, rng)
+    sampler = ZipfSampler(num_data, config.zipf_exponent)
+    data_ids = [sampler.sample(rng) for _ in range(config.num_requests)]
+    return [
+        (times_s[index], f"client-{index % config.num_clients}", data_ids[index])
+        for index in range(config.num_requests)
+    ]
+
+
 async def run_open_loop(
     service: SchedulingService, config: LoadgenConfig
 ) -> LoadResult:
@@ -161,19 +187,13 @@ async def run_open_loop(
     Each submission runs as its own task so slow responses never delay
     later arrivals (the defining property of an open loop).
     """
-    rng = random.Random(config.seed)
-    times_s = config.arrival_process().generate(config.num_requests, rng)
-    sampler = ZipfSampler(service.config.num_data, config.zipf_exponent)
-    data_ids = [sampler.sample(rng) for _ in range(config.num_requests)]
+    schedule = open_loop_schedule(config, service.config.num_data)
     clock = service.clock
     loop = asyncio.get_running_loop()
     tasks: "List[asyncio.Task[Outcome]]" = []
-    for index, arrival_s in enumerate(times_s):
+    for arrival_s, client_id, data_id in schedule:
         await clock.sleep_until(arrival_s)
-        client_id = f"client-{index % config.num_clients}"
-        tasks.append(
-            loop.create_task(service.submit(client_id, data_ids[index]))
-        )
+        tasks.append(loop.create_task(service.submit(client_id, data_id)))
     outcomes = list(await asyncio.gather(*tasks))
     return _tally(outcomes)
 
@@ -243,7 +263,9 @@ __all__ = [
     "LOOP_OPEN",
     "LoadResult",
     "LoadgenConfig",
+    "open_loop_schedule",
     "run_closed_loop",
     "run_load",
     "run_open_loop",
+    "tally_outcomes",
 ]

@@ -27,7 +27,7 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Sequence
 
 from repro.core.cost import CostFunction
 from repro.core.heuristic import HeuristicScheduler
@@ -110,14 +110,26 @@ class ServiceConfig:
         # the objects built from them (SimulationConfig, placement,
         # AdmissionController).
 
-    def make_catalog(self) -> PlacementCatalog:
-        """The paper's placement: Zipf originals, uniform replicas."""
+    def make_catalog(
+        self, data_ids: Optional[Sequence[DataId]] = None
+    ) -> PlacementCatalog:
+        """The paper's placement: Zipf originals, uniform replicas.
+
+        Args:
+            data_ids: The data population to place. ``None`` (the
+                unsharded default) places ``range(num_data)``; a sharded
+                deployment passes each shard its owned subset so every
+                replica of an item lands inside that shard's sub-fleet.
+        """
         scheme = ZipfOriginalUniformReplicas(
             replication_factor=self.replication_factor,
             zipf_exponent=self.zipf_exponent,
         )
+        population = (
+            list(range(self.num_data)) if data_ids is None else list(data_ids)
+        )
         return scheme.place(
-            list(range(self.num_data)),
+            population,
             self.num_disks,
             random.Random(self.seed + 7),
         )
@@ -157,10 +169,21 @@ class SchedulingService:
     Lifecycle: construct → ``await start()`` → any number of concurrent
     ``await submit(...)`` → ``await drain(...)``. Instances are
     single-use, like the simulation they wrap.
+
+    Args:
+        config: The session parameters.
+        catalog: Optional placement override. ``None`` builds the
+            config's own Zipf catalog; a sharded deployment passes each
+            shard worker the catalog over its owned data subset.
     """
 
-    def __init__(self, config: ServiceConfig):
+    def __init__(
+        self,
+        config: ServiceConfig,
+        catalog: Optional[PlacementCatalog] = None,
+    ):
         self._config = config
+        self._catalog_override = catalog
         self._started = False
         self._stopped = False
         self._draining = False
@@ -182,8 +205,13 @@ class SchedulingService:
         self._started = True
         config = self._config
         self._clock = ServiceClock()
+        catalog = (
+            self._catalog_override
+            if self._catalog_override is not None
+            else config.make_catalog()
+        )
         self._backend = SimBackend(
-            config.make_catalog(),
+            catalog,
             config.make_sim_config(),
             self._on_complete,
         )

@@ -1,0 +1,70 @@
+"""Sharded serving: multi-process scale-out of the PR 5 service.
+
+The single-process :class:`~repro.serve.service.SchedulingService` runs
+the whole disk fleet behind one ``SimBackend`` — fine for hundreds of
+requests per second, nowhere near the ROADMAP north star. This package
+partitions the fleet into N shards, each a full service (backend +
+engine + scheduler + admission) in its own worker process, behind a
+consistent-hash router:
+
+* :mod:`repro.serve.shard.ring` — the consistent-hash ring (process-
+  stable ``blake2b`` points, virtual nodes, live-set aware lookup).
+* :mod:`repro.serve.shard.topology` — fleet partitioning: disks are
+  split contiguously, data ids are assigned to shards by the ring, and
+  each shard builds its placement catalog over *its own* data subset so
+  every replica of an object lives on exactly one shard.
+* :mod:`repro.serve.shard.messages` — the picklable request/response
+  wire types crossing the process boundary.
+* :mod:`repro.serve.shard.worker` — one shard session: a
+  ``SchedulingService`` under its own per-process ``VirtualTimeLoop``.
+* :mod:`repro.serve.shard.router` — fan-out/fan-in: serial and
+  multiprocess execution, the chaos kill hook, and the liveness-aware
+  collection barrier.
+* :mod:`repro.serve.shard.reporting` — per-shard and merged
+  ``repro-bench/1`` documents (cross-shard metric aggregation).
+
+The determinism contract: a shard worker's report is byte-identical to
+an unsharded run over the same sub-fleet with the same seed, and the
+serial and multiprocess execution paths produce byte-identical merged
+reports. ``tests/serve/test_shard_determinism.py`` pins both.
+"""
+
+from repro.serve.shard.messages import (
+    ShardFailure,
+    ShardKill,
+    ShardRequest,
+    ShardResult,
+)
+from repro.serve.shard.reporting import shard_document, sharded_document
+from repro.serve.shard.ring import HashRing
+from repro.serve.shard.router import (
+    ShardedRunResult,
+    plan_messages,
+    run_sharded,
+)
+from repro.serve.shard.topology import (
+    ShardedServiceConfig,
+    ShardSpec,
+    assign_data,
+    build_topology,
+)
+from repro.serve.shard.worker import run_shard_session, shard_worker_main
+
+__all__ = [
+    "HashRing",
+    "ShardFailure",
+    "ShardKill",
+    "ShardRequest",
+    "ShardResult",
+    "ShardSpec",
+    "ShardedRunResult",
+    "ShardedServiceConfig",
+    "assign_data",
+    "build_topology",
+    "plan_messages",
+    "run_shard_session",
+    "run_sharded",
+    "shard_document",
+    "shard_worker_main",
+    "sharded_document",
+]

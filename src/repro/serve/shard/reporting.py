@@ -1,0 +1,217 @@
+"""Per-shard and merged ``repro-bench/1`` documents for sharded runs.
+
+Both document shapes here are **fully deterministic**: wall-clock
+readings (worker compute time, router overhead) deliberately stay out
+of the documents and live on :class:`~repro.serve.shard.router.\
+ShardedRunResult` instead, so the merged report digest can be pinned in
+the determinism tier and compared byte-for-byte between the serial and
+multiprocess execution paths. ``wall_clock_s`` records elapsed
+*virtual* seconds, exactly like the unsharded serve report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.experiments.harness.schema import BENCH_SCHEMA
+from repro.serve.loadgen import LoadgenConfig, LoadResult, tally_outcomes
+from repro.serve.service import SchedulingService
+from repro.serve.shard.topology import ShardSpec, ShardedServiceConfig
+from repro.sim.metrics import MetricsRegistry, merge_dumps
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (router imports us)
+    from repro.serve.shard.router import ShardedRunResult
+
+
+def canonical_json(document: Dict[str, Any]) -> str:
+    """The byte-stable serialisation every digest in this PR pins."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def document_digest(document: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical serialisation."""
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def shard_document(
+    spec: ShardSpec, service: SchedulingService, result: LoadResult
+) -> Dict[str, Any]:
+    """One shard's own schema-valid report (virtual-clock fields only).
+
+    Call after the shard drained, while its loop-bound clock is live.
+    This is the document the determinism tier compares against an
+    unsharded run over the same sub-fleet — hence no wall readings and
+    ``created_unix = 0.0``.
+    """
+    config = spec.service
+    backend = service.backend
+    elapsed_s = service.clock.now
+    snapshot = service.metrics_snapshot()
+    events = backend.events_processed
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": f"serve-shard:{config.policy}:s{spec.shard_id:02d}",
+        "created_unix": 0.0,
+        "scale": float(max(result.offered, 1)),
+        "mwis_scale": 1.0,
+        "seed": config.seed,
+        "jobs": 1,
+        "wall_clock_s": elapsed_s,
+        "events_processed": events,
+        "events_per_sec": events / elapsed_s if elapsed_s > 0 else 0.0,
+        "peak_rss_bytes": None,
+        "cache": {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "hit_rate": 0.0,
+        },
+        "points": [],
+        "result": {
+            "shard": {
+                "shard_id": spec.shard_id,
+                "num_shards_hint": None,
+                "data_ids_owned": len(spec.data_ids),
+                "global_disk_ids": list(spec.global_disk_ids),
+            },
+            "service": {
+                "policy": config.policy,
+                "num_disks": config.num_disks,
+                "replication_factor": config.replication_factor,
+                "num_data": config.num_data,
+                "queue_limit": config.queue_limit,
+                "client_rate_per_s": config.client_rate_per_s,
+                "window_s": config.window_s,
+                "max_batch": config.max_batch,
+                "virtual_clock": True,
+            },
+            "outcome": {
+                "offered": result.offered,
+                "completed": result.completed,
+                "rejected": result.rejected,
+                "rejected_by_reason": dict(result.rejected_by_reason),
+                "completed_fraction": result.completed_fraction,
+            },
+            "metrics": snapshot,
+        },
+    }
+
+
+def sharded_document(
+    config: ShardedServiceConfig,
+    load: LoadgenConfig,
+    run: "ShardedRunResult",
+) -> Dict[str, Any]:
+    """The merged deployment report: one schema-valid document.
+
+    Folds every shard's full-fidelity registry dump into one merged
+    :class:`~repro.sim.metrics.MetricsRegistry` (counters summed, raw
+    histogram samples re-observed, ``time.now_s`` maxed) and layers the
+    router's own view on top: global outcome tally, per-shard summaries
+    with their report digests, and the chaos record of shards lost
+    mid-run. Wall-clock scaling numbers are *not* here — see the module
+    docstring.
+    """
+    tally = tally_outcomes(run.outcomes)
+    merged = merge_dumps([r.registry_dump for r in run.shard_results])
+    _fold_router_counters(merged, run)
+    elapsed_s = max(
+        (r.virtual_elapsed_s for r in run.shard_results), default=0.0
+    )
+    events = sum(r.events_processed for r in run.shard_results)
+    shards: List[Dict[str, Any]] = []
+    for result in run.shard_results:  # shard_results is in shard-id order
+        shards.append(
+            {
+                "shard_id": result.shard_id,
+                "offered": len(result.indices),
+                "completed": sum(
+                    1 for o in result.outcomes if o.accepted
+                ),
+                "events_processed": result.events_processed,
+                "virtual_elapsed_s": result.virtual_elapsed_s,
+                "document_sha256": document_digest(result.document),
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": f"serve-sharded:{config.policy}",
+        "created_unix": 0.0,
+        "scale": float(load.num_requests),
+        "mwis_scale": 1.0,
+        "seed": config.seed,
+        "jobs": config.num_shards,
+        "wall_clock_s": elapsed_s,
+        "events_processed": events,
+        "events_per_sec": events / elapsed_s if elapsed_s > 0 else 0.0,
+        "peak_rss_bytes": None,
+        "cache": {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "hit_rate": 0.0,
+        },
+        "points": [],
+        "result": {
+            "deployment": {
+                "policy": config.policy,
+                "num_shards": config.num_shards,
+                "num_disks": config.num_disks,
+                "replication_factor": config.replication_factor,
+                "num_data": config.num_data,
+                "vnodes": config.vnodes,
+                "virtual_clock": True,
+            },
+            "load": {
+                "num_requests": load.num_requests,
+                "rate_per_s": load.rate_per_s,
+                "num_clients": load.num_clients,
+                "arrival": load.arrival,
+                "loop": load.loop,
+                "seed": load.seed,
+            },
+            "outcome": {
+                "offered": tally.offered,
+                "completed": tally.completed,
+                "rejected": tally.rejected,
+                "rejected_by_reason": dict(tally.rejected_by_reason),
+                "completed_fraction": tally.completed_fraction,
+            },
+            "chaos": {
+                "shards_down": list(run.shards_down),
+                "requests_lost": run.requests_lost,
+            },
+            "shards": shards,
+            "metrics": merged.snapshot(),
+        },
+    }
+
+
+def _fold_router_counters(
+    registry: MetricsRegistry, run: "ShardedRunResult"
+) -> None:
+    """Layer the router's own counters onto the merged registry.
+
+    Shed-at-router requests (dead shard's keyspace) never reached a
+    worker, so they exist only here; folding them in keeps the merged
+    ``requests.*`` counters consistent with the global outcome tally.
+    """
+    shed = run.requests_lost
+    if shed:
+        registry.counter("requests.offered").inc(shed)
+        registry.counter("requests.rejected").inc(shed)
+        registry.counter("rejected.shard_down").inc(shed)
+    registry.counter("router.requests_routed").inc(len(run.outcomes) - shed)
+    registry.counter("router.requests_shed").inc(shed)
+
+
+__all__ = [
+    "canonical_json",
+    "document_digest",
+    "shard_document",
+    "sharded_document",
+]

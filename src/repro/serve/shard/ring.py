@@ -1,0 +1,126 @@
+"""Consistent-hash ring for the sharded serving router.
+
+Classic Karger-style ring: every shard owns ``vnodes`` points on a
+64-bit circle, and a key is owned by the first shard point at or after
+the key's own hash (wrapping). Two properties matter here and both are
+tested (``tests/serve/test_ring_properties.py``):
+
+* **Process stability.** Points come from :func:`hashlib.blake2b`, never
+  from Python's randomized ``hash()``, so the router process and every
+  shard worker agree on ownership without sharing state — a fixed
+  ``(num_shards, vnodes, seed)`` triple fully determines the ring.
+* **Minimal remapping.** When a shard is removed from the live set, only
+  the keys it owned move (to their clockwise successors); everyone
+  else's keys stay put. That is what lets the chaos drill shed exactly
+  one shard's keyspace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default virtual nodes per shard. 256 points per shard keeps the
+#: keyspace-count spread to a few percent at 8 shards (spread shrinks
+#: like ``1/sqrt(vnodes)``) while the ring stays small (2048 points at
+#: 8 shards) and a lookup stays one bisect.
+DEFAULT_VNODES = 256
+
+_POINT_BYTES = 8  # 64-bit circle
+
+
+def _hash_point(label: str) -> int:
+    """A stable 64-bit point for ``label`` (blake2b, not ``hash()``)."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=_POINT_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring over shard ids ``0..num_shards-1``.
+
+    Args:
+        num_shards: Number of shards on the ring (>= 1).
+        vnodes: Virtual nodes per shard (>= 1).
+        seed: Namespaces the point hashes, so two deployments with
+            different seeds place keys differently but each is fully
+            reproducible.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        self.seed = seed
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes):
+                points.append(
+                    (_hash_point(f"{seed}:shard:{shard}:{vnode}"), shard)
+                )
+        # Sorting on (point, shard) makes collisions (astronomically
+        # unlikely at 64 bits, but cheap to handle) deterministic too.
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _shard in points]
+
+    def key_point(self, key: object) -> int:
+        """Where ``key`` lands on the circle (uses ``repr`` for ints/strs)."""
+        return _hash_point(f"{self.seed}:key:{key!r}")
+
+    def lookup(
+        self, key: object, live: Optional[Sequence[int]] = None
+    ) -> int:
+        """The live shard owning ``key``.
+
+        Args:
+            key: Any value with a stable ``repr`` (data ids are ints).
+            live: Shard ids currently up; ``None`` means all shards.
+
+        Returns:
+            The owning shard id: the first live shard point clockwise
+            from the key's hash.
+
+        Raises:
+            ConfigurationError: If ``live`` is empty or names unknown
+                shards.
+        """
+        live_set: Optional[Set[int]] = None
+        if live is not None:
+            live_set = set(live)
+            if not live_set:
+                raise ConfigurationError("no live shards to route to")
+            unknown = live_set - set(range(self.num_shards))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown live shards {sorted(unknown)!r}; "
+                    f"ring has shards 0..{self.num_shards - 1}"
+                )
+        start = bisect.bisect_right(self._hashes, self.key_point(key))
+        total = len(self._points)
+        for offset in range(total):
+            _point, shard = self._points[(start + offset) % total]
+            if live_set is None or shard in live_set:
+                return shard
+        raise ConfigurationError("no live shards to route to")  # pragma: no cover
+
+    def ownership(
+        self, keys: Sequence[object], live: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Vectorised :meth:`lookup` (keeps property tests readable)."""
+        return [self.lookup(key, live) for key in keys]
+
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]

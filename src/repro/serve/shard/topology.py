@@ -1,0 +1,256 @@
+"""Fleet partitioning: how N shards split disks, data, and seeds.
+
+A sharded deployment is a pure function of one
+:class:`ShardedServiceConfig`:
+
+* **Disks** split contiguously and near-evenly — shard ``k`` of ``N``
+  over ``D`` disks owns a ``D//N``-or-one-more slice, so global disk ids
+  map back to ``(shard, local disk)`` by arithmetic alone.
+* **Data ids** are assigned to shards popularity-aware: the hot head
+  of the Zipf popularity distribution (the first ``hot_data_ids``
+  ranks) is spread greedily by expected request weight — pure
+  consistent hashing would hand whichever shard drew rank 0 an extra
+  ~``1/H(num_data)`` of *all* traffic — and the flat tail goes to the
+  consistent-hash ring (:class:`~repro.serve.shard.ring.HashRing`).
+  The router routes with :func:`assign_data`'s exact output, so
+  placement and routing can never disagree.
+* **Replicas stay local**: each shard builds its placement catalog over
+  *its own* data subset and *its own* disks
+  (``ServiceConfig.make_catalog(data_ids)``), so every replica of an
+  object lives on exactly one shard. That is what makes a shard worker
+  a complete, independently-deterministic service — and what makes a
+  dead shard's keyspace unservable (typed ``shard_down``) rather than
+  silently degraded.
+* **Seeds** are decorrelated per shard (``seed + 7919 * (shard+1)``) so
+  shard workloads don't mirror each other, while the whole deployment
+  stays reproducible from the one top-level seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.placement.catalog import PlacementCatalog
+from repro.serve.service import POLICIES, POLICY_ONLINE, ServiceConfig
+from repro.serve.shard.ring import DEFAULT_VNODES, HashRing
+from repro.types import DataId, DiskId
+
+#: Per-shard seed stride (prime, so shard seed sequences never collide
+#: with the +7 catalog offset or the *97 loadgen client streams).
+SHARD_SEED_STRIDE = 7_919
+
+
+@dataclass(frozen=True)
+class ShardedServiceConfig:
+    """One sharded serving deployment (the router-side config).
+
+    Attributes:
+        policy: Scheduling policy every shard runs.
+        num_shards: Worker process count (>= 1).
+        num_disks: Total fleet size, split across shards.
+        replication_factor: Copies per data item *within its shard*.
+        num_data: Global data population size.
+        zipf_exponent: Original-placement skew inside each shard.
+        seed: Deployment seed; shard seeds derive from it.
+        profile_name: Disk power profile for every shard.
+        queue_limit: Per-shard bounded ingress capacity.
+        client_rate_per_s: Per-client token refill rate (per shard).
+        client_burst: Per-client bucket capacity in tokens.
+        window_s: Micro-batch window length in seconds.
+        max_batch: Per-window dispatch cap (``None`` = whole queue).
+        alpha: Eq. 6 energy weight.
+        beta: Eq. 6 energy scale.
+        vnodes: Virtual nodes per shard on the routing ring.
+        hot_data_ids: Popularity ranks assigned greedily by Zipf weight
+            instead of by the ring (0 = pure consistent hashing).
+        drain_grace_s: Per-shard drain deadline in seconds.
+    """
+
+    policy: str = POLICY_ONLINE
+    num_shards: int = 2
+    num_disks: int = 18
+    replication_factor: int = 3
+    num_data: int = 2_000
+    zipf_exponent: float = 1.0
+    seed: int = 1
+    profile_name: str = "paper-evaluation"
+    queue_limit: int = 1_024
+    client_rate_per_s: Optional[float] = None
+    client_burst: float = 8.0
+    window_s: float = 0.1
+    max_batch: Optional[int] = None
+    alpha: float = 0.2
+    beta: float = 100.0
+    vnodes: int = DEFAULT_VNODES
+    hot_data_ids: int = 64
+    drain_grace_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; known: {POLICIES}"
+            )
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.num_data < 1:
+            raise ConfigurationError(
+                f"num_data must be >= 1, got {self.num_data}"
+            )
+        if self.hot_data_ids < 0:
+            raise ConfigurationError(
+                f"hot_data_ids must be >= 0, got {self.hot_data_ids}"
+            )
+        smallest = self.num_disks // self.num_shards
+        if smallest < self.replication_factor:
+            raise ConfigurationError(
+                f"{self.num_disks} disks over {self.num_shards} shards "
+                f"leaves {smallest} disks on the smallest shard, fewer "
+                f"than replication_factor={self.replication_factor}; "
+                "add disks or drop shards"
+            )
+
+    def ring(self) -> HashRing:
+        """The deployment's routing ring (also used at topology build)."""
+        return HashRing(self.num_shards, vnodes=self.vnodes, seed=self.seed)
+
+    def shard_seed(self, shard_id: int) -> int:
+        """The service seed of shard ``shard_id``."""
+        return self.seed + SHARD_SEED_STRIDE * (shard_id + 1)
+
+    def disk_slices(self) -> List[Tuple[DiskId, DiskId]]:
+        """Per-shard ``(first_global_disk, past_end)`` contiguous slices."""
+        base = self.num_disks // self.num_shards
+        extra = self.num_disks % self.num_shards
+        slices: List[Tuple[DiskId, DiskId]] = []
+        start = 0
+        for shard in range(self.num_shards):
+            count = base + (1 if shard < extra else 0)
+            slices.append((start, start + count))
+            start += count
+        return slices
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker process needs — picklable by construction.
+
+    Attributes:
+        shard_id: Position in the deployment (0-based).
+        service: The shard's own :class:`ServiceConfig` (local disk
+            count, derived seed).
+        data_ids: Sorted data ids this shard owns (ring assignment).
+        global_disk_ids: The global ids of this shard's disks, for
+            report readers mapping local disk 0.. back to the fleet.
+        drain_grace_s: Drain deadline in seconds for this shard.
+    """
+
+    shard_id: int
+    service: ServiceConfig
+    data_ids: Tuple[DataId, ...]
+    global_disk_ids: Tuple[DiskId, ...]
+    drain_grace_s: float = 2.0
+
+    def make_catalog(self) -> PlacementCatalog:
+        """Placement over this shard's own data ids and disks."""
+        return self.service.make_catalog(self.data_ids)
+
+
+def assign_data(config: ShardedServiceConfig) -> List[int]:
+    """Owner shard of every data id — the routing table, by rank.
+
+    Data ids are Zipf popularity ranks (the load generator samples id
+    ``r`` with weight ``(r+1)^-s``), so ownership is split in two
+    regimes:
+
+    * **hot head** (rank < ``hot_data_ids``): greedy assignment to the
+      shard with the smallest accumulated expected weight, rank order,
+      lowest shard id on ties. This is what keeps rank 0 — alone worth
+      ~``1/H(num_data)`` of all traffic — from skewing one shard's
+      load by double digits.
+    * **flat tail**: the consistent-hash ring; per-id weights are small
+      and near-uniform there, so hash balance is weight balance.
+
+    Both the topology (which shard's catalog holds which ids) and the
+    router consume this exact table, so they cannot disagree.
+    """
+    ring = config.ring()
+    owners = [0] * config.num_data
+    exponent = config.zipf_exponent
+    loads = [0.0] * config.num_shards
+    hot = min(config.hot_data_ids, config.num_data)
+    for rank in range(hot):
+        lightest = min(range(config.num_shards), key=lambda s: (loads[s], s))
+        owners[rank] = lightest
+        loads[lightest] += (rank + 1) ** -exponent
+    for data_id in range(hot, config.num_data):
+        owners[data_id] = ring.lookup(data_id)
+    return owners
+
+
+def build_topology(
+    config: ShardedServiceConfig,
+    routing_table: Optional[Sequence[int]] = None,
+) -> Tuple[ShardSpec, ...]:
+    """Deterministically expand a deployment config into shard specs.
+
+    Every data id in ``range(num_data)`` is assigned to its
+    :func:`assign_data` owner; each shard gets a :class:`ServiceConfig`
+    scoped to its disk slice and derived seed. The union of shard data
+    sets is exactly the global population and the sets are pairwise
+    disjoint (pinned by ``tests/serve/test_shard_topology.py``).
+
+    Args:
+        config: The deployment.
+        routing_table: An :func:`assign_data` result to reuse when the
+            caller already computed it (the router does); ``None``
+            computes it here. Passing anything else desynchronises the
+            router from the catalogs — don't.
+    """
+    if routing_table is None:
+        routing_table = assign_data(config)
+    owned: Dict[int, List[DataId]] = {
+        shard: [] for shard in range(config.num_shards)
+    }
+    for data_id, owner in enumerate(routing_table):
+        owned[owner].append(data_id)
+    specs: List[ShardSpec] = []
+    for shard_id, (start, stop) in enumerate(config.disk_slices()):
+        service = ServiceConfig(
+            policy=config.policy,
+            num_disks=stop - start,
+            replication_factor=config.replication_factor,
+            num_data=config.num_data,
+            zipf_exponent=config.zipf_exponent,
+            seed=config.shard_seed(shard_id),
+            profile_name=config.profile_name,
+            queue_limit=config.queue_limit,
+            client_rate_per_s=config.client_rate_per_s,
+            client_burst=config.client_burst,
+            window_s=config.window_s,
+            max_batch=config.max_batch,
+            alpha=config.alpha,
+            beta=config.beta,
+        )
+        specs.append(
+            ShardSpec(
+                shard_id=shard_id,
+                service=service,
+                data_ids=tuple(owned[shard_id]),
+                global_disk_ids=tuple(range(start, stop)),
+                drain_grace_s=config.drain_grace_s,
+            )
+        )
+    return tuple(specs)
+
+
+__all__ = [
+    "SHARD_SEED_STRIDE",
+    "ShardSpec",
+    "ShardedServiceConfig",
+    "assign_data",
+    "build_topology",
+]

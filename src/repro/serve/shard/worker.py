@@ -1,0 +1,147 @@
+"""One shard session: a full ``SchedulingService`` in one process.
+
+A shard worker is deliberately *not* a new kind of service — it is the
+PR 5 :class:`~repro.serve.service.SchedulingService` verbatim, fed a
+pre-routed request stream and scoped to its shard's disks, data subset
+and derived seed. That is the whole determinism argument: a shard's
+report is byte-identical to an unsharded run over the same sub-fleet
+with the same seed because it *is* that run.
+
+Each worker owns its own :class:`~repro.serve.clock.VirtualTimeLoop`
+(virtual clocks are per-process state — satellite fix of this PR), so
+shards advance time independently; cross-shard ordering lives entirely
+in the router's merge, never in a shared clock.
+
+The request iterator may block (a multiprocessing queue ``get``). That
+is safe under the virtual loop: a blocked ``get`` stalls *wall* time
+only, while the virtual timeline — and therefore every outcome, metric
+and report byte — depends solely on the message contents.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from multiprocessing.queues import Queue as MpQueue
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.serve.clock import virtual_run
+from repro.serve.loadgen import tally_outcomes
+from repro.serve.service import SchedulingService
+from repro.serve.shard.messages import (
+    ShardFailure,
+    ShardRequest,
+    ShardResult,
+)
+from repro.serve.shard.reporting import shard_document
+from repro.serve.shard.topology import ShardSpec
+
+
+async def _session(
+    spec: ShardSpec, messages: Iterable[Optional[ShardRequest]]
+) -> ShardResult:
+    """Run one shard's whole lifecycle on the current (virtual) loop.
+
+    The report and registry dump are assembled *inside* the coroutine,
+    while the service's loop-bound clock is still live.
+    """
+    service = SchedulingService(spec.service, catalog=spec.make_catalog())
+    await service.start()
+    clock = service.clock
+    loop = asyncio.get_running_loop()
+    indices: List[int] = []
+    tasks: "List[asyncio.Task[object]]" = []
+    for message in messages:
+        if message is None:  # router's end-of-stream sentinel
+            break
+        await clock.sleep_until(message.arrival_s)
+        indices.append(message.index)
+        tasks.append(
+            loop.create_task(
+                service.submit(
+                    message.client_id,
+                    message.data_id,
+                    size_bytes=message.size_bytes,
+                )
+            )
+        )
+    outcomes = tuple(await asyncio.gather(*tasks))
+    await service.drain(grace_s=spec.drain_grace_s)
+    tally = tally_outcomes(outcomes)
+    document = shard_document(spec, service, tally)
+    dump = service.metrics.dump()
+    return ShardResult(
+        shard_id=spec.shard_id,
+        indices=tuple(indices),
+        outcomes=outcomes,
+        registry_dump=dump,
+        document=document,
+        virtual_elapsed_s=clock.now,
+        compute_cpu_s=0.0,  # stamped by run_shard_session
+        events_processed=service.backend.events_processed,
+    )
+
+
+def run_shard_session(
+    spec: ShardSpec, messages: Iterable[Optional[ShardRequest]]
+) -> ShardResult:
+    """Execute one shard session to completion (blocking).
+
+    Works identically for the serial path (``messages`` is a list) and
+    the worker process (``messages`` drains a queue). ``compute_cpu_s``
+    measures CPU time spent inside the session — queue-blocked waiting
+    costs nothing — so multi-process runs can report a critical-path
+    rate even on single-core hosts.
+    """
+    # CPU-clock reads measure worker cost only; nothing scheduled
+    # depends on them, so determinism is untouched.
+    started_cpu_s = time.process_time()  # reprolint: disable=RPL101
+    result = virtual_run(_session(spec, messages))
+    elapsed_cpu_s = time.process_time() - started_cpu_s  # reprolint: disable=RPL101
+    return ShardResult(
+        shard_id=result.shard_id,
+        indices=result.indices,
+        outcomes=result.outcomes,
+        registry_dump=result.registry_dump,
+        document=result.document,
+        virtual_elapsed_s=result.virtual_elapsed_s,
+        compute_cpu_s=elapsed_cpu_s,
+        events_processed=result.events_processed,
+    )
+
+
+def _drain_chunks(
+    request_q: "MpQueue[Optional[Sequence[ShardRequest]]]",
+) -> Iterator[ShardRequest]:
+    """Flatten the router's chunked stream until the ``None`` sentinel.
+
+    The router batches requests per queue put (one pickle per chunk
+    instead of per request) purely to cut serialisation overhead; the
+    worker sees the identical flat, ordered message stream.
+    """
+    for chunk in iter(request_q.get, None):
+        for message in chunk:
+            yield message
+
+
+def shard_worker_main(
+    spec: ShardSpec,
+    request_q: "MpQueue[Optional[Sequence[ShardRequest]]]",
+    response_q: "MpQueue[object]",
+) -> None:
+    """Worker-process entry point: drain the request queue, reply once.
+
+    On failure a best-effort :class:`ShardFailure` goes back before the
+    exception re-raises (so the parent sees a non-zero exit *and* a
+    reason); the router's collection barrier additionally polls worker
+    liveness, so even a SIGKILL (no reply at all) cannot wedge it.
+    """
+    try:
+        result = run_shard_session(spec, _drain_chunks(request_q))
+        response_q.put(result)
+    except Exception as error:
+        response_q.put(ShardFailure(shard_id=spec.shard_id, error=repr(error)))
+        raise
+
+
+__all__ = ["run_shard_session", "shard_worker_main"]

@@ -21,7 +21,7 @@ runs under the virtual clock serialise byte-identically.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.report import MetricsCollector, SimulationReport, percentile
@@ -132,6 +132,17 @@ class Histogram:
             self._sorted = True
         return self._samples
 
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """All recorded samples, ascending — the full-fidelity export.
+
+        Ascending (not insertion) order so the export is a deterministic
+        function of the recorded multiset; cross-shard merges replay
+        these in a fixed shard order, which keeps merged totals and
+        quantiles byte-reproducible.
+        """
+        return tuple(self._ascending())
+
     def snapshot(self) -> Dict[str, Number]:
         """Count, total, mean, min/max and the standard quantiles."""
         out: Dict[str, Number] = {
@@ -221,6 +232,103 @@ class MetricsRegistry:
             },
         }
 
+    def dump(self) -> Dict[str, Dict[str, object]]:
+        """Full-fidelity export: like :meth:`snapshot`, but histograms
+        carry their raw sample lists instead of condensed quantiles.
+
+        This is the cross-process wire format of the sharded serving
+        layer: a shard worker dumps its registry, the router merges the
+        dumps with :func:`merge_dumps`, and the merged registry
+        re-derives exact quantiles from the union of samples — something
+        condensed snapshots cannot do.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: list(self._histograms[name].samples)
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+#: Gauges merged by ``max`` instead of sum: point-in-time clocks, where
+#: "the deployment's time" is the furthest shard, not the total.
+GAUGE_MERGE_MAX: Tuple[str, ...] = ("time.now_s",)
+
+
+def merge_dumps(
+    dumps: Sequence[Mapping[str, Mapping[str, object]]],
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold full-fidelity :meth:`MetricsRegistry.dump` exports into one.
+
+    The cross-shard aggregation rule set:
+
+    * **counters** sum — events happened on some shard, the deployment
+      saw all of them;
+    * **gauges** sum, except :data:`GAUGE_MERGE_MAX` names which take
+      the max (clock-like values);
+    * **histograms** re-observe every raw sample, dump order then
+      ascending within a dump — so merged totals and quantiles are
+      exact and byte-reproducible for a fixed dump order (pass dumps in
+      shard-id order).
+
+    Args:
+        dumps: Registry dumps, already in the desired deterministic
+            order.
+        registry: Merge target (created fresh when ``None``).
+
+    Returns:
+        The merged registry; ``snapshot()`` on it condenses the merged
+        histograms back to quantiles.
+    """
+    merged = registry if registry is not None else MetricsRegistry()
+    max_seen: Dict[str, Number] = {}
+    for dump in dumps:
+        counters = dump.get("counters", {})
+        for name in sorted(counters):
+            value = counters[name]
+            if not isinstance(value, int):
+                raise ConfigurationError(
+                    f"counter {name!r} dump value must be an int, "
+                    f"got {type(value).__name__}"
+                )
+            merged.counter(name).inc(value)
+        gauges = dump.get("gauges", {})
+        for name in sorted(gauges):
+            gauge_value = gauges[name]
+            if not isinstance(gauge_value, (int, float)):
+                raise ConfigurationError(
+                    f"gauge {name!r} dump value must be a number, "
+                    f"got {type(gauge_value).__name__}"
+                )
+            gauge = merged.gauge(name)
+            if name in GAUGE_MERGE_MAX:
+                best = max_seen.get(name)
+                if best is None or gauge_value > best:
+                    max_seen[name] = gauge_value
+                    gauge.set(gauge_value)
+            else:
+                gauge.set(gauge.value + gauge_value)
+        histograms = dump.get("histograms", {})
+        for name in sorted(histograms):
+            samples = histograms[name]
+            if not isinstance(samples, (list, tuple)):
+                raise ConfigurationError(
+                    f"histogram {name!r} dump value must be a sample "
+                    f"list, got {type(samples).__name__}"
+                )
+            histogram = merged.histogram(name)
+            for sample in samples:
+                histogram.observe(float(sample))
+    return merged
+
 
 def observe_engine(registry: MetricsRegistry, engine: "SimulationEngine") -> None:
     """Mirror the engine's own counters into ``registry`` gauges.
@@ -236,6 +344,7 @@ def observe_engine(registry: MetricsRegistry, engine: "SimulationEngine") -> Non
 
 __all__ = [
     "Counter",
+    "GAUGE_MERGE_MAX",
     "Gauge",
     "Histogram",
     "MetricsCollector",
@@ -243,6 +352,7 @@ __all__ = [
     "Number",
     "QUANTILES",
     "SimulationReport",
+    "merge_dumps",
     "observe_engine",
     "percentile",
 ]

@@ -1,0 +1,122 @@
+"""Property tests for the consistent-hash routing ring.
+
+The three contract properties the sharded router leans on:
+
+* every key resolves to exactly one shard from the live set;
+* removing a shard remaps only the keys it owned (everyone else's
+  assignment is untouched), and that moved share is ~1/N;
+* the mapping is a pure function of ``(num_shards, vnodes, seed)`` —
+  stable across processes, because points come from ``blake2b``, never
+  from Python's per-process ``hash()``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serve.shard.ring import HashRing
+
+KEYS = st.one_of(
+    st.integers(min_value=0, max_value=100_000),
+    st.text(min_size=0, max_size=24),
+)
+
+
+@given(
+    num_shards=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+    key=KEYS,
+)
+@settings(max_examples=200, deadline=None)
+def test_every_key_maps_to_exactly_one_known_shard(
+    num_shards: int, seed: int, key: object
+) -> None:
+    ring = HashRing(num_shards, vnodes=16, seed=seed)
+    owner = ring.lookup(key)
+    assert 0 <= owner < num_shards
+    # Deterministic: the same lookup twice is the same shard.
+    assert ring.lookup(key) == owner
+
+
+@given(
+    num_shards=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+    key=KEYS,
+    victim=st.integers(min_value=0, max_value=11),
+)
+@settings(max_examples=200, deadline=None)
+def test_removal_touches_only_the_victims_keys(
+    num_shards: int, seed: int, key: object, victim: int
+) -> None:
+    victim = victim % num_shards
+    ring = HashRing(num_shards, vnodes=16, seed=seed)
+    before = ring.lookup(key)
+    live = [s for s in range(num_shards) if s != victim]
+    after = ring.lookup(key, live=live)
+    if before != victim:
+        assert after == before  # survivor keys must not move
+    else:
+        assert after != victim  # victim keys must land on a survivor
+
+
+@given(
+    num_shards=st.integers(min_value=1, max_value=8),
+    vnodes=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31),
+    key=KEYS,
+)
+@settings(max_examples=100, deadline=None)
+def test_live_set_of_all_shards_equals_default_lookup(
+    num_shards: int, vnodes: int, seed: int, key: object
+) -> None:
+    ring = HashRing(num_shards, vnodes=vnodes, seed=seed)
+    assert ring.lookup(key) == ring.lookup(key, live=range(num_shards))
+
+
+def test_removal_moves_roughly_one_nth_of_keys() -> None:
+    """At 4 shards, removing one remaps its ~25% share, nothing more."""
+    num_keys = 4_000
+    ring = HashRing(4, seed=7)
+    keys = list(range(num_keys))
+    before = ring.ownership(keys)
+    after = ring.ownership(keys, live=[0, 1, 3])
+    moved = sum(1 for b, a in zip(before, after) if b != a)
+    owned_by_victim = sum(1 for b in before if b == 2)
+    assert moved == owned_by_victim
+    # The victim's share is ~1/4 at default vnode density; allow slack
+    # for hash variance but catch gross imbalance.
+    assert 0.15 * num_keys <= moved <= 0.35 * num_keys
+
+
+def _ownership_in_subprocess(args: "tuple[int, int, int]") -> List[int]:
+    """Module-level so ProcessPoolExecutor can pickle it (spawn-safe)."""
+    num_shards, seed, num_keys = args
+    ring = HashRing(num_shards, seed=seed)
+    return ring.ownership(list(range(num_keys)))
+
+
+def test_routing_is_stable_across_processes() -> None:
+    """A fresh process (fresh ``PYTHONHASHSEED``) builds the same ring."""
+    args = (5, 42, 500)
+    local = _ownership_in_subprocess(args)
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        remote = pool.submit(_ownership_in_subprocess, args).result()
+    assert remote == local
+
+
+def test_lookup_validates_the_live_set() -> None:
+    ring = HashRing(3, seed=1)
+    with pytest.raises(ConfigurationError):
+        ring.lookup("k", live=[])
+    with pytest.raises(ConfigurationError):
+        ring.lookup("k", live=[0, 7])
+    with pytest.raises(ConfigurationError):
+        HashRing(0)
+    with pytest.raises(ConfigurationError):
+        HashRing(2, vnodes=0)

@@ -9,10 +9,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import (
+    GAUGE_MERGE_MAX,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_dumps,
     observe_engine,
 )
 
@@ -138,3 +140,103 @@ def test_observe_engine_mirrors_counters() -> None:
     snap = registry.snapshot()
     assert snap["gauges"]["engine.events_processed"] == 2
     assert snap["gauges"]["engine.pending_events"] == 0
+
+
+class TestHistogramSamples:
+    def test_samples_are_ascending_regardless_of_insertion_order(self) -> None:
+        histogram = Histogram("lat")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.samples == (1.0, 2.0, 3.0)
+
+    def test_empty_samples(self) -> None:
+        assert Histogram("lat").samples == ()
+
+
+class TestMergeDumps:
+    def test_counters_sum_across_dumps(self) -> None:
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("requests.completed").inc(3)
+        right.counter("requests.completed").inc(4)
+        right.counter("requests.rejected").inc(1)
+        merged = merge_dumps([left.dump(), right.dump()])
+        snap = merged.snapshot()
+        assert snap["counters"] == {
+            "requests.completed": 7,
+            "requests.rejected": 1,
+        }
+
+    def test_gauges_sum_except_clock_like_names(self) -> None:
+        assert "time.now_s" in GAUGE_MERGE_MAX
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("energy.joules").set(10.0)
+        right.gauge("energy.joules").set(2.5)
+        left.gauge("time.now_s").set(40.0)
+        right.gauge("time.now_s").set(90.0)
+        snap = merge_dumps([left.dump(), right.dump()]).snapshot()
+        assert snap["gauges"]["energy.joules"] == 12.5
+        assert snap["gauges"]["time.now_s"] == 90.0  # max, not 130
+
+    def test_histograms_merge_exact_quantiles(self) -> None:
+        """Merged quantiles equal those of one registry that saw every
+        sample — the property a condensed-snapshot merge cannot have."""
+        left, right, reference = (
+            MetricsRegistry(),
+            MetricsRegistry(),
+            MetricsRegistry(),
+        )
+        for value in (0.1, 0.9, 0.5):
+            left.histogram("response_s").observe(value)
+            reference.histogram("response_s").observe(value)
+        for value in (0.3, 0.7):
+            right.histogram("response_s").observe(value)
+            reference.histogram("response_s").observe(value)
+        merged = merge_dumps([left.dump(), right.dump()])
+        assert (
+            merged.snapshot()["histograms"]["response_s"]
+            == reference.snapshot()["histograms"]["response_s"]
+        )
+
+    def test_merge_is_deterministic_for_a_fixed_dump_order(self) -> None:
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.histogram("h").observe(2.0)
+        right.histogram("h").observe(1.0)
+        left.counter("c").inc(1)
+        dumps = [left.dump(), right.dump()]
+        first = json.dumps(merge_dumps(dumps).snapshot(), sort_keys=True)
+        second = json.dumps(merge_dumps(dumps).snapshot(), sort_keys=True)
+        assert first == second
+
+    def test_merge_into_an_existing_registry(self) -> None:
+        source, target = MetricsRegistry(), MetricsRegistry()
+        source.counter("c").inc(2)
+        target.counter("c").inc(5)
+        merged = merge_dumps([source.dump()], registry=target)
+        assert merged is target
+        assert target.counter("c").value == 7
+
+    def test_dump_round_trips_through_json(self) -> None:
+        """The wire format survives serialisation — what actually crosses
+        the shard worker queue boundary is plain JSON-compatible data."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        wire = json.loads(json.dumps(registry.dump()))
+        merged = merge_dumps([wire])
+        assert merged.snapshot() == registry.snapshot()
+
+    def test_merge_validates_dump_value_types(self) -> None:
+        with pytest.raises(ConfigurationError):
+            merge_dumps([{"counters": {"c": 1.5}}])
+        with pytest.raises(ConfigurationError):
+            merge_dumps([{"gauges": {"g": "fast"}}])
+        with pytest.raises(ConfigurationError):
+            merge_dumps([{"histograms": {"h": 3.0}}])
+
+    def test_merge_of_nothing_is_empty(self) -> None:
+        assert merge_dumps([]).snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

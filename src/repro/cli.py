@@ -202,6 +202,55 @@ def build_parser() -> argparse.ArgumentParser:
         "consistent-hash router (1 = single-process service)",
     )
     serve.add_argument(
+        "--replication-factor",
+        type=int,
+        default=1,
+        help="cross-SHARD replication: place each data id on this many "
+        "distinct shards so the router can fail a dead shard's keys "
+        "over (needs --shards >= the factor; distinct from "
+        "--replication, the in-shard disk replica count)",
+    )
+    serve.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="SHARD@TIME[@RECOVER_AT]",
+        help="chaos drill: SIGKILL shard SHARD at schedule instant TIME; "
+        "with @RECOVER_AT the supervisor restarts it (replaying its "
+        "outbox) at that instant (repeatable; needs --shards > 1)",
+    )
+    serve.add_argument(
+        "--hang",
+        action="append",
+        default=[],
+        metavar="SHARD@TIME",
+        help="chaos drill: SIGSTOP shard SHARD at schedule instant TIME "
+        "— alive but silent until the barrier's response timeout "
+        "escalates it (repeatable; needs --shards > 1)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="supervise workers: restart a dead or hung shard at the "
+        "collection barrier and replay its unanswered requests "
+        "instead of shedding its keyspace",
+    )
+    serve.add_argument(
+        "--response-timeout",
+        type=float,
+        default=None,
+        help="wall seconds of worker silence before the barrier "
+        "escalates it as hung (default: 30 when --hang is used)",
+    )
+    serve.add_argument(
+        "--assert-availability",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit non-zero unless the completed fraction of every "
+        "policy's run is at least FRACTION (the chaos-drill SLO gate)",
+    )
+    serve.add_argument(
         "--drain-grace",
         type=float,
         default=2.0,
@@ -364,6 +413,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     output_dir.mkdir(parents=True, exist_ok=True)
     if args.shards > 1:
         return _run_serve_sharded(args, policies, output_dir)
+    if (
+        args.replication_factor > 1
+        or args.kill
+        or args.hang
+        or args.recover
+        or args.assert_availability is not None
+    ):
+        print(
+            "error: --replication-factor/--kill/--hang/--recover/"
+            "--assert-availability are sharded-deployment flags; "
+            "add --shards > 1",
+            file=sys.stderr,
+        )
+        return 2
     for policy in policies:
         service = SchedulingService(
             ServiceConfig(
@@ -423,13 +486,34 @@ def _run_serve_sharded(
     Writes the same ``SERVE_<policy>.json`` filenames as the unsharded
     path, so CI's byte-compare determinism checks work unchanged.
     """
+    from repro.errors import ConfigurationError
     from repro.serve.loadgen import LoadgenConfig
     from repro.serve.reporting import write_serve_document
     from repro.serve.shard import (
+        ShardHang,
+        ShardKill,
         ShardedServiceConfig,
         run_sharded,
         sharded_document,
     )
+
+    def parse_kill(spec: str) -> ShardKill:
+        parts = spec.split("@")
+        if len(parts) not in (2, 3):
+            raise ConfigurationError(
+                f"--kill wants SHARD@TIME[@RECOVER_AT], got {spec!r}"
+            )
+        return ShardKill(
+            shard_id=int(parts[0]),
+            time_s=float(parts[1]),
+            recover_at_s=float(parts[2]) if len(parts) == 3 else None,
+        )
+
+    def parse_hang(spec: str) -> ShardHang:
+        parts = spec.split("@")
+        if len(parts) != 2:
+            raise ConfigurationError(f"--hang wants SHARD@TIME, got {spec!r}")
+        return ShardHang(shard_id=int(parts[0]), time_s=float(parts[1]))
 
     if args.wall:
         print(
@@ -445,12 +529,20 @@ def _run_serve_sharded(
             file=sys.stderr,
         )
         return 2
+    try:
+        kills = tuple(parse_kill(spec) for spec in args.kill)
+        hangs = tuple(parse_hang(spec) for spec in args.hang)
+    except (ConfigurationError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    status = 0
     for policy in policies:
         config = ShardedServiceConfig(
             policy=policy,
             num_shards=args.shards,
             num_disks=args.disks,
             replication_factor=args.replication,
+            shard_replication_factor=args.replication_factor,
             seed=args.seed,
             queue_limit=args.queue_limit,
             client_rate_per_s=args.client_rate,
@@ -465,7 +557,14 @@ def _run_serve_sharded(
             arrival=args.arrival,
             seed=args.seed,
         )
-        run = run_sharded(config, load)
+        run = run_sharded(
+            config,
+            load,
+            kills=kills,
+            hangs=hangs,
+            supervise=args.recover,
+            response_timeout_s=args.response_timeout,
+        )
         document = sharded_document(config, load, run)
         name = policy.replace("-", "_")
         path = write_serve_document(document, output_dir / f"SERVE_{name}.json")
@@ -478,7 +577,34 @@ def _run_serve_sharded(
             f"{run.events_processed} events, "
             f"critical path {run.critical_path_s:.2f}s wall"
         )
-    return 0
+        if kills or hangs or args.recover:
+            print(
+                f"  chaos: availability {run.availability:.4f}, "
+                f"{len(run.shards_down)} shard(s) down at end, "
+                f"{run.requests_lost} lost, "
+                f"{run.requests_failed_over} failed over, "
+                f"{run.requests_replayed} replayed, "
+                f"{run.duplicates_suppressed} duplicate(s) suppressed"
+            )
+            for report in run.recoveries:
+                print(
+                    f"  recovery: shard {report.shard_id} ({report.reason}) "
+                    f"rejoined after {report.downtime_wall_s:.2f}s wall, "
+                    f"{report.spawn_attempts} spawn attempt(s), "
+                    f"{report.requests_replayed} replayed, "
+                    f"{report.requests_failed_over} failed over"
+                )
+        if (
+            args.assert_availability is not None
+            and run.availability < args.assert_availability
+        ):
+            print(
+                f"error: availability {run.availability:.4f} is below the "
+                f"--assert-availability bound {args.assert_availability}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 def _run_simulate(args: argparse.Namespace) -> int:

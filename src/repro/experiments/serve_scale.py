@@ -18,6 +18,13 @@ The ``speedup (critical path)`` panel is the acceptance gate: 4 shards
 must clear 3x over the 1-shard cell of the same policy. Outcome quality
 (completed fraction) is reported alongside to show scale-out does not
 trade away availability.
+
+The **degraded** panels rerun the multi-shard cells with cross-shard
+replication on (``shard_replication_factor = 2``) and the last shard
+SIGKILLed mid-schedule, unsupervised: every request fails over to the
+surviving replica shards. They report what the self-healing tier costs
+and buys — throughput with a shard-sized hole in the fleet, and the
+availability the replicas preserve through it.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.ablations import AblationResult, Panel
 from repro.serve.loadgen import LoadgenConfig, tally_outcomes
 from repro.serve.service import POLICIES
-from repro.serve.shard import ShardedServiceConfig, run_sharded
+from repro.serve.shard import ShardKill, ShardedServiceConfig, run_sharded
 
 #: Deployment widths of the sweep columns.
 SCALE_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
@@ -82,6 +89,13 @@ def run_serve_scale(
     critical_rate: Dict[str, List[float]] = {}
     speedup: Dict[str, List[float]] = {}
     completed_fraction: Dict[str, List[float]] = {}
+    degraded_rate: Dict[str, List[float]] = {}
+    degraded_availability: Dict[str, List[float]] = {}
+    # Degraded cells need >= 2 shards (replicas must span shards) and
+    # real worker processes (a serial run cannot lose one).
+    degraded_counts = (
+        [n for n in shard_counts if n >= 2] if multiprocess else []
+    )
     events = 0
     for policy in POLICIES:
         load = LoadgenConfig(
@@ -132,6 +146,55 @@ def run_serve_scale(
             for i in range(len(shard_counts))
         ]
         completed_fraction[policy] = fractions
+        degraded_column: List[float] = []
+        degraded_avail_column: List[float] = []
+        for num_shards in degraded_counts:
+            config = ShardedServiceConfig(
+                policy=policy,
+                num_shards=num_shards,
+                num_disks=SCALE_DISKS,
+                num_data=SCALE_DATA,
+                shard_replication_factor=2,
+                seed=seed,
+            )
+            # Fell the last shard halfway through the schedule; its
+            # whole keyspace must ride the replicas from then on.
+            kill = ShardKill(
+                shard_id=num_shards - 1,
+                time_s=num_requests / SCALE_RATE_PER_S / 2.0,
+            )
+            run = run_sharded(config, load, kills=(kill,))
+            events += run.events_processed
+            degraded_column.append(run.events_per_sec_critical)
+            degraded_avail_column.append(run.availability)
+        degraded_rate[policy] = degraded_column
+        degraded_availability[policy] = degraded_avail_column
+    degraded_panels = (
+        [
+            Panel(
+                name=(
+                    "serve scale degraded: events/s (critical path, "
+                    "R=2, one shard killed mid-run)"
+                ),
+                x_label="shards",
+                x_values=[float(n) for n in degraded_counts],
+                series=degraded_rate,
+                precision=0,
+            ),
+            Panel(
+                name=(
+                    "serve scale degraded: availability "
+                    "(R=2, one shard killed mid-run)"
+                ),
+                x_label="shards",
+                x_values=[float(n) for n in degraded_counts],
+                series=degraded_availability,
+                precision=4,
+            ),
+        ]
+        if degraded_counts
+        else []
+    )
     return AblationResult(
         ablation_id="serve_scale",
         title=(
@@ -167,6 +230,7 @@ def run_serve_scale(
                 series=completed_fraction,
                 precision=4,
             ),
+            *degraded_panels,
         ],
         events_processed=events,
     )

@@ -27,10 +27,33 @@ class RejectReason(enum.Enum):
     RATE_LIMITED = "rate_limited"
     #: The service is draining; no new work is accepted.
     SHUTTING_DOWN = "shutting_down"
-    #: The shard owning the requested data is down (sharded serving);
-    #: every replica lives on that shard, so the request cannot be
-    #: re-routed and the router sheds it.
+    #: The shard owning the requested data is down (sharded serving)
+    #: and no live replica shard exists — the terminal "keyspace lost"
+    #: outcome. With ``shard_replication_factor > 1`` or supervised
+    #: recovery this should never be emitted for a single failure.
     SHARD_DOWN = "shard_down"
+    #: The request *was* failed over to a live replica shard, and that
+    #: shard then also died before answering. Diagnosably different
+    #: from :attr:`SHARD_DOWN`: failover was attempted and lost a race
+    #: with a second failure, rather than being impossible.
+    FAILED_OVER = "failed_over"
+    #: Every in-shard replica disk of the requested data is dead
+    #: (scripted disk-death drills); the shard is up but cannot serve
+    #: this id.
+    DATA_UNAVAILABLE = "data_unavailable"
+
+
+#: The reasons that existed before cross-shard replication, in the
+#: serialisation order reports have always used. Outcome tallies and
+#: per-service metric counters always materialise these four — and the
+#: newer reasons only when actually observed — so documents from
+#: replication-free runs stay byte-identical to their pinned digests.
+LEGACY_REASONS: "tuple[RejectReason, ...]" = (
+    RejectReason.QUEUE_FULL,
+    RejectReason.RATE_LIMITED,
+    RejectReason.SHARD_DOWN,
+    RejectReason.SHUTTING_DOWN,
+)
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ paper's scheduling models, re-hosted behind a request API.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.disk.drive import SimulatedDisk
 from repro.errors import PlacementError, SchedulingError, SimulationError
@@ -30,6 +30,11 @@ from repro.types import DataId, DiskId, OpKind, Request
 
 #: ``(request, disk, completion time in seconds)`` completion callback.
 CompletionCallback = Callable[[Request, DiskId, float], None]
+
+#: ``(dead disk, drained requests, death time in seconds)`` — fired when a
+#: scripted disk death strikes, *after* the disk's queue has been drained,
+#: so the service can redispatch the survivors to live replicas.
+DiskDeathCallback = Callable[[DiskId, List[Request], float], None]
 
 
 class SimBackend:
@@ -76,6 +81,7 @@ class SimBackend:
         }
         self._submitted = 0
         self._finalized = False
+        self._dead: Set[DiskId] = set()
 
     # -- SystemView protocol -------------------------------------------
 
@@ -105,8 +111,53 @@ class SimBackend:
             raise PlacementError(f"unknown data id {data_id}")
 
     def available_locations(self, data_id: DataId) -> Tuple[DiskId, ...]:
-        """Identical to :meth:`locations`: no faults on the serving path."""
-        return self.locations(data_id)
+        """Replicas on disks still alive.
+
+        Identical to :meth:`locations` until a scripted disk death
+        strikes (the common case pays no filtering cost); afterwards the
+        dead disks are excluded, so the schedulers steer around them and
+        raise :class:`~repro.errors.ReplicaUnavailableError` when every
+        replica of an item is gone.
+        """
+        locations = self.locations(data_id)
+        if not self._dead:
+            return locations
+        return tuple(
+            disk_id for disk_id in locations if disk_id not in self._dead
+        )
+
+    # -- scripted disk deaths ------------------------------------------
+
+    def schedule_disk_death(
+        self, disk_id: DiskId, at_s: float, on_death: DiskDeathCallback
+    ) -> None:
+        """Crash-stop ``disk_id`` permanently at engine time ``at_s``.
+
+        The death fires as an ordinary engine event during
+        :meth:`advance_to`, so it is deterministic relative to every
+        request event. Drained requests (in service + queued on the
+        dying disk) are handed to ``on_death`` for redispatch.
+        """
+        if disk_id not in self._disks:
+            raise SchedulingError(f"cannot kill unknown disk {disk_id}")
+        # Arm the epoch guard on the doomed disk: a crash mid-spin-up or
+        # mid-service leaves already-scheduled timer events behind, and
+        # without the guard the stale event would fire into the
+        # post-crash state machine. Disks without a scripted death keep
+        # the unguarded hot path.
+        self._disks[disk_id].enable_fault_injection()
+
+        def _die() -> None:
+            drained = self._disks[disk_id].fail(permanent=True)
+            self._dead.add(disk_id)
+            on_death(disk_id, drained, self._engine.now)
+
+        self._engine.post(at_s, _die)
+
+    @property
+    def dead_disks(self) -> Tuple[DiskId, ...]:
+        """Disks lost to scripted deaths so far, ascending."""
+        return tuple(sorted(self._dead))
 
     # -- clock injection -----------------------------------------------
 
@@ -186,4 +237,4 @@ class SimBackend:
         self._finalized = True
 
 
-__all__ = ["CompletionCallback", "SimBackend"]
+__all__ = ["CompletionCallback", "DiskDeathCallback", "SimBackend"]

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.placement.zipf import ZipfSampler
-from repro.serve.admission import Completed, Outcome, Rejected, RejectReason
+from repro.serve.admission import LEGACY_REASONS, Completed, Outcome, Rejected
 from repro.serve.service import SchedulingService
 from repro.traces.synthetic import ArrivalProcess, MMPPArrivals, PoissonArrivals
 
@@ -139,10 +139,13 @@ def tally_outcomes(outcomes: Sequence[Outcome]) -> LoadResult:
 
 def _tally(outcomes: List[Outcome]) -> LoadResult:
     completed = sum(1 for o in outcomes if isinstance(o, Completed))
-    by_reason = {reason: 0 for reason in RejectReason}
+    # Legacy reasons are always present (reports have pinned digests
+    # that include their zeros); reasons added for cross-shard failover
+    # appear only when actually observed.
+    by_reason = {reason: 0 for reason in LEGACY_REASONS}
     for outcome in outcomes:
         if isinstance(outcome, Rejected):
-            by_reason[outcome.reason] += 1
+            by_reason[outcome.reason] = by_reason.get(outcome.reason, 0) + 1
     return LoadResult(
         outcomes=tuple(outcomes),
         offered=len(outcomes),

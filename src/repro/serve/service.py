@@ -27,16 +27,21 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostFunction
 from repro.core.heuristic import HeuristicScheduler
 from repro.core.wsc import WSCBatchScheduler
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    ReplicaUnavailableError,
+    SimulationError,
+)
 from repro.placement.catalog import PlacementCatalog
 from repro.placement.schemes import ZipfOriginalUniformReplicas
 from repro.power.profile import get_profile
 from repro.serve.admission import (
+    LEGACY_REASONS,
     AdmissionController,
     Completed,
     Outcome,
@@ -46,7 +51,7 @@ from repro.serve.admission import (
 from repro.serve.backend import SimBackend
 from repro.serve.clock import ServiceClock
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import MetricsRegistry, observe_engine
+from repro.sim.metrics import Counter, MetricsRegistry, observe_engine
 from repro.types import DEFAULT_REQUEST_BYTES, DataId, DiskId, Request
 
 #: The two dispatch policies.
@@ -78,6 +83,12 @@ class ServiceConfig:
             = whole queue); the remainder waits for the next tick.
         alpha: Eq. 6 energy weight.
         beta: Eq. 6 energy scale.
+        disk_deaths: Scripted permanent disk failures as ``(disk_id,
+            at_s)`` pairs in service-clock seconds — the chaos drills'
+            in-shard fault axis. Each death drains the dying disk's
+            queue back to the service, which redispatches to live
+            replicas or sheds with
+            :attr:`RejectReason.DATA_UNAVAILABLE`.
     """
 
     policy: str = POLICY_ONLINE
@@ -94,6 +105,7 @@ class ServiceConfig:
     max_batch: Optional[int] = None
     alpha: float = 0.2
     beta: float = 100.0
+    disk_deaths: Tuple[Tuple[DiskId, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -106,6 +118,16 @@ class ServiceConfig:
             raise ConfigurationError("window_s must be positive")
         if self.max_batch is not None and self.max_batch <= 0:
             raise ConfigurationError("max_batch must be positive or None")
+        for disk_id, at_s in self.disk_deaths:
+            if not 0 <= disk_id < self.num_disks:
+                raise ConfigurationError(
+                    f"disk death names disk {disk_id}, outside the fleet "
+                    f"0..{self.num_disks - 1}"
+                )
+            if at_s < 0:
+                raise ConfigurationError(
+                    f"disk death time must be >= 0, got {at_s}"
+                )
         # num_disks / replication / queue_limit / rates are validated by
         # the objects built from them (SimulationConfig, placement,
         # AdmissionController).
@@ -156,7 +178,7 @@ class _Pending:
         self,
         request: Request,
         client_id: str,
-        future: "asyncio.Future[Completed]",
+        future: "asyncio.Future[Outcome]",
     ):
         self.request = request
         self.client_id = client_id
@@ -215,6 +237,16 @@ class SchedulingService:
             config.make_sim_config(),
             self._on_complete,
         )
+        # Scripted disk deaths (chaos drills only): the redispatch
+        # scheduler exists only when deaths are configured, so the
+        # healthy path is byte-identical to builds without this feature.
+        self._redispatch: Optional[HeuristicScheduler] = None
+        if config.disk_deaths:
+            self._redispatch = HeuristicScheduler(config.cost_function())
+            for disk_id, at_s in config.disk_deaths:
+                self._backend.schedule_disk_death(
+                    disk_id, at_s, self._on_disk_death
+                )
         self._admission = AdmissionController(
             queue_limit=config.queue_limit,
             client_rate_per_s=config.client_rate_per_s,
@@ -249,9 +281,13 @@ class SchedulingService:
         self._m_admitted = metrics.counter("requests.admitted")
         self._m_completed = metrics.counter("requests.completed")
         self._m_rejected = metrics.counter("requests.rejected")
+        # Only the legacy reasons get eager counters: creating
+        # ``rejected.failed_over`` etc. unconditionally would add zero
+        # rows to every dump and break the pinned report digests. The
+        # newer reasons materialise lazily on first occurrence.
         self._m_rejected_by = {
             reason: metrics.counter(f"rejected.{reason.value}")
-            for reason in RejectReason
+            for reason in LEGACY_REASONS
         }
         self._m_batches = metrics.counter("batches.dispatched")
         self._m_empty_ticks = metrics.counter("batches.empty_ticks")
@@ -260,6 +296,14 @@ class SchedulingService:
         self._m_latency = metrics.histogram("response_s")
         self._m_queue_wait = metrics.histogram("queue_wait_s")
         self._m_batch_size = metrics.histogram("batch.size")
+
+    def _reject_counter(self, reason: RejectReason) -> Counter:
+        """The reason's counter, creating post-legacy ones on first use."""
+        counter = self._m_rejected_by.get(reason)
+        if counter is None:
+            counter = self.metrics.counter(f"rejected.{reason.value}")
+            self._m_rejected_by[reason] = counter
+        return counter
 
     @property
     def config(self) -> ServiceConfig:
@@ -319,7 +363,7 @@ class SchedulingService:
             reason = self._admission.admit(client_id, now_s, len(self._ingress))
         if reason is not None:
             self._m_rejected.inc()
-            self._m_rejected_by[reason].inc()
+            self._reject_counter(reason).inc()
             return Rejected(
                 client_id=client_id,
                 data_id=data_id,
@@ -334,7 +378,7 @@ class SchedulingService:
         )
         self._next_request_id += 1
         self._m_admitted.inc()
-        future: "asyncio.Future[Completed]" = (
+        future: "asyncio.Future[Outcome]" = (
             asyncio.get_running_loop().create_future()
         )
         self._ingress.append(_Pending(request, client_id, future))
@@ -370,6 +414,48 @@ class SchedulingService:
         backend.submit(pending.request, disk_id)
         self._engine_wake.set()
 
+    def _shed_unavailable(self, pending: _Pending, now_s: float) -> None:
+        """Shed an admitted request whose every replica disk is dead."""
+        self._m_rejected.inc()
+        self._reject_counter(RejectReason.DATA_UNAVAILABLE).inc()
+        pending.future.set_result(
+            Rejected(
+                client_id=pending.client_id,
+                data_id=pending.request.data_id,
+                reason=RejectReason.DATA_UNAVAILABLE,
+                rejected_s=now_s,
+            )
+        )
+
+    def _on_disk_death(
+        self, disk_id: DiskId, drained: List[Request], now_s: float
+    ) -> None:
+        """Backend callback: a scripted disk death struck at ``now_s``.
+
+        Every request drained off the dead disk is still in flight from
+        the caller's point of view; redispatch each to its best live
+        replica, or shed it with ``DATA_UNAVAILABLE`` when the death
+        took the last copy.
+        """
+        scheduler = self._redispatch
+        assert scheduler is not None  # only wired when deaths configured
+        backend = self.backend
+        self.metrics.counter("disks.failed").inc()
+        redispatched = self.metrics.counter("requests.redispatched")
+        for request in drained:
+            pending = self._inflight[request.request_id]
+            try:
+                target = scheduler.choose(request, backend)
+            except ReplicaUnavailableError:
+                del self._inflight[request.request_id]
+                self._shed_unavailable(pending, now_s)
+                continue
+            backend.submit(request, target)
+            redispatched.inc()
+        self._m_inflight.set(len(self._inflight))
+        if self._draining and not self._inflight:
+            self._idle.set()
+
     # -- dispatch policies ----------------------------------------------
 
     async def _run_online(self) -> None:
@@ -384,7 +470,12 @@ class SchedulingService:
                 pending = ingress.popleft()
                 self._m_queue_depth.set(len(ingress))
                 backend.advance_to(clock.now)
-                disk_id = scheduler.choose(pending.request, backend)
+                try:
+                    disk_id = scheduler.choose(pending.request, backend)
+                except ReplicaUnavailableError:
+                    # Every replica disk died before dispatch.
+                    self._shed_unavailable(pending, clock.now)
+                    continue
                 self._dispatch_one(pending, disk_id)
             if self._draining:
                 break
@@ -454,6 +545,18 @@ class SchedulingService:
         self._m_queue_depth.set(len(ingress))
         backend = self.backend
         backend.advance_to(self.clock.now)
+        if self._config.disk_deaths:
+            # Shed batch members whose last replica died; choose_batch
+            # would otherwise raise for the whole batch.
+            servable = []
+            for pending in batch:
+                if backend.available_locations(pending.request.data_id):
+                    servable.append(pending)
+                else:
+                    self._shed_unavailable(pending, self.clock.now)
+            batch = servable
+            if not batch:
+                return
         scheduler = self._batch
         assert scheduler is not None
         requests = [pending.request for pending in batch]
@@ -461,7 +564,7 @@ class SchedulingService:
         for pending in batch:
             self._dispatch_one(pending, decisions[pending.request.request_id])
         self._m_batches.inc()
-        self._m_batch_size.observe(float(take))
+        self._m_batch_size.observe(float(len(batch)))
 
     # -- engine pump ----------------------------------------------------
 

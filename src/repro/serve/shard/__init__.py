@@ -8,30 +8,41 @@ engine + scheduler + admission) in its own worker process, behind a
 consistent-hash router:
 
 * :mod:`repro.serve.shard.ring` — the consistent-hash ring (process-
-  stable ``blake2b`` points, virtual nodes, live-set aware lookup).
+  stable ``blake2b`` points, virtual nodes, live-set aware lookup and
+  deterministic successor chains).
 * :mod:`repro.serve.shard.topology` — fleet partitioning: disks are
   split contiguously, data ids are assigned to shards by the ring, and
-  each shard builds its placement catalog over *its own* data subset so
-  every replica of an object lives on exactly one shard.
+  each shard builds its placement catalog over *its own* data subset.
+  With ``shard_replication_factor > 1`` every data id additionally
+  lives on replica shards (:func:`replica_table`), which is what makes
+  cross-shard failover possible.
 * :mod:`repro.serve.shard.messages` — the picklable request/response
-  wire types crossing the process boundary.
+  wire types crossing the process boundary (including the chaos
+  instructions and the worker liveness heartbeat).
 * :mod:`repro.serve.shard.worker` — one shard session: a
   ``SchedulingService`` under its own per-process ``VirtualTimeLoop``.
+* :mod:`repro.serve.shard.supervisor` — worker lifecycle owner: spawn,
+  hang detection (heartbeat-fed response timeout), SIGKILL-and-restart
+  from the derived seed, outbox replay, recovery accounting.
 * :mod:`repro.serve.shard.router` — fan-out/fan-in: serial and
-  multiprocess execution, the chaos kill hook, and the liveness-aware
-  collection barrier.
+  multiprocess execution, replica-aware failover routing, the scripted
+  chaos timeline (kills, hangs, recoveries), and first-wins dedup at
+  the merge.
 * :mod:`repro.serve.shard.reporting` — per-shard and merged
   ``repro-bench/1`` documents (cross-shard metric aggregation).
 
 The determinism contract: a shard worker's report is byte-identical to
 an unsharded run over the same sub-fleet with the same seed, and the
 serial and multiprocess execution paths produce byte-identical merged
-reports. ``tests/serve/test_shard_determinism.py`` pins both.
+reports — at ``shard_replication_factor = 1`` *and* above it.
+``tests/serve/test_shard_determinism.py`` pins both.
 """
 
 from repro.serve.shard.messages import (
     ShardFailure,
+    ShardHang,
     ShardKill,
+    ShardProgress,
     ShardRequest,
     ShardResult,
 )
@@ -42,26 +53,38 @@ from repro.serve.shard.router import (
     plan_messages,
     run_sharded,
 )
+from repro.serve.shard.supervisor import (
+    RecoveryReport,
+    ShardSupervisor,
+    SupervisorConfig,
+)
 from repro.serve.shard.topology import (
     ShardedServiceConfig,
     ShardSpec,
     assign_data,
     build_topology,
+    replica_table,
 )
 from repro.serve.shard.worker import run_shard_session, shard_worker_main
 
 __all__ = [
     "HashRing",
+    "RecoveryReport",
     "ShardFailure",
+    "ShardHang",
     "ShardKill",
+    "ShardProgress",
     "ShardRequest",
     "ShardResult",
     "ShardSpec",
+    "ShardSupervisor",
     "ShardedRunResult",
     "ShardedServiceConfig",
+    "SupervisorConfig",
     "assign_data",
     "build_topology",
     "plan_messages",
+    "replica_table",
     "run_shard_session",
     "run_sharded",
     "shard_document",

@@ -11,7 +11,7 @@ verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.serve.admission import Outcome
 from repro.types import DEFAULT_REQUEST_BYTES, DataId
@@ -97,10 +97,65 @@ class ShardKill:
         shard_id: Victim shard.
         time_s: Schedule instant: the kill fires just before the first
             request whose ``arrival_s`` is at or past this.
+        recover_at_s: Optional schedule instant at which the supervisor
+            restarts the victim (fresh process from the same derived
+            seed and topology slice) and replays its outbox. ``None``
+            leaves the shard down for the rest of the run. Recovery is
+            schedule-scripted for the same reason the kill is: the set
+            of requests the restarted shard replays depends only on the
+            schedule, never on wall-clock restart latency.
+    """
+
+    shard_id: int
+    time_s: float
+    recover_at_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ShardHang:
+    """A chaos instruction: SIGSTOP one worker mid-traffic.
+
+    The nastier cousin of :class:`ShardKill`: the victim stays *alive*
+    (liveness polls keep passing) but consumes and answers nothing.
+    Detecting this takes the collection barrier's per-shard response
+    timeout — silence, not death — after which the supervisor escalates
+    to SIGKILL (and, when supervising, restart-and-replay).
+
+    Attributes:
+        shard_id: Victim shard.
+        time_s: Schedule instant: the stop fires just before the first
+            request whose ``arrival_s`` is at or past this.
     """
 
     shard_id: int
     time_s: float
 
 
-__all__ = ["ShardFailure", "ShardKill", "ShardRequest", "ShardResult"]
+@dataclass(frozen=True)
+class ShardProgress:
+    """Worker → router heartbeat: one per request chunk consumed.
+
+    Carries no outcome data — it exists so the collection barrier can
+    tell a *slow* worker (progress messages still flowing) from a
+    *hung* one (silence past the response timeout). Emitted before the
+    chunk is processed, so a worker wedged mid-chunk still reported the
+    receipt.
+
+    Attributes:
+        shard_id: The reporting shard.
+        chunks_consumed: Monotonic count of chunks taken off the
+            request queue so far.
+    """
+
+    shard_id: int
+    chunks_consumed: int
+
+
+__all__ = [
+    "ShardFailure",
+    "ShardHang",
+    "ShardKill",
+    "ShardProgress",
+    "ShardRequest",
+    "ShardResult",
+]

@@ -16,6 +16,7 @@ import json
 from typing import TYPE_CHECKING, Any, Dict, List
 
 from repro.experiments.harness.schema import BENCH_SCHEMA
+from repro.serve.admission import Completed, Rejected, RejectReason
 from repro.serve.loadgen import LoadgenConfig, LoadResult, tally_outcomes
 from repro.serve.service import SchedulingService
 from repro.serve.shard.topology import ShardSpec, ShardedServiceConfig
@@ -114,10 +115,41 @@ def sharded_document(
     with their report digests, and the chaos record of shards lost
     mid-run. Wall-clock scaling numbers are *not* here — see the module
     docstring.
+
+    Replication and recovery blocks appear only in the modes that
+    produce them (``shard_replication_factor > 1``; any restart,
+    failover or replay happened), so the replication-factor-1 document
+    — and its pinned digest — is byte-identical to earlier releases.
+    Everything in those blocks is a deterministic function of the
+    topology and the chaos script; wall-clock recovery measurements
+    (downtime, spawn attempts) stay on :class:`RecoveryReport`.
     """
     tally = tally_outcomes(run.outcomes)
     merged = merge_dumps([r.registry_dump for r in run.shard_results])
     _fold_router_counters(merged, run)
+    deployment: Dict[str, Any] = {
+        "policy": config.policy,
+        "num_shards": config.num_shards,
+        "num_disks": config.num_disks,
+        "replication_factor": config.replication_factor,
+        "num_data": config.num_data,
+        "vnodes": config.vnodes,
+        "virtual_clock": True,
+    }
+    if config.shard_replication_factor > 1:
+        deployment["shard_replication_factor"] = (
+            config.shard_replication_factor
+        )
+    extra: Dict[str, Any] = {}
+    if run.recoveries or run.failed_over_indices or run.requests_replayed:
+        extra["recovery"] = {
+            "restarts": len(run.recoveries),
+            "recovered_shards": sorted(
+                {report.shard_id for report in run.recoveries}
+            ),
+            "requests_replayed": run.requests_replayed,
+            "requests_failed_over": len(run.failed_over_indices),
+        }
     elapsed_s = max(
         (r.virtual_elapsed_s for r in run.shard_results), default=0.0
     )
@@ -157,15 +189,7 @@ def sharded_document(
         },
         "points": [],
         "result": {
-            "deployment": {
-                "policy": config.policy,
-                "num_shards": config.num_shards,
-                "num_disks": config.num_disks,
-                "replication_factor": config.replication_factor,
-                "num_data": config.num_data,
-                "vnodes": config.vnodes,
-                "virtual_clock": True,
-            },
+            "deployment": deployment,
             "load": {
                 "num_requests": load.num_requests,
                 "rate_per_s": load.rate_per_s,
@@ -187,6 +211,7 @@ def sharded_document(
             },
             "shards": shards,
             "metrics": merged.snapshot(),
+            **extra,
         },
     }
 
@@ -196,17 +221,50 @@ def _fold_router_counters(
 ) -> None:
     """Layer the router's own counters onto the merged registry.
 
-    Shed-at-router requests (dead shard's keyspace) never reached a
-    worker, so they exist only here; folding them in keeps the merged
-    ``requests.*`` counters consistent with the global outcome tally.
+    Shed-at-router requests (dead shard's keyspace, or a replica chain
+    that died whole) never reached a worker, so they exist only here;
+    folding them in keeps the merged ``requests.*`` counters consistent
+    with the global outcome tally.
+
+    Every metric added here is a deterministic function of the chaos
+    script, so pinned digests stay valid — which is also why the
+    race-dependent dedup count (``duplicates_suppressed``) is *never*
+    folded: it lives on :class:`ShardedRunResult` only. New-mode
+    metrics (failover, replay) appear only when nonzero, keeping the
+    replication-factor-1 document byte-identical to earlier releases.
     """
     shed = run.requests_lost
+    shard_down = sum(
+        1
+        for outcome in run.outcomes
+        if isinstance(outcome, Rejected)
+        and outcome.reason is RejectReason.SHARD_DOWN
+    )
     if shed:
         registry.counter("requests.offered").inc(shed)
         registry.counter("requests.rejected").inc(shed)
-        registry.counter("rejected.shard_down").inc(shed)
+        if shard_down:
+            registry.counter("rejected.shard_down").inc(shard_down)
+        if shed - shard_down:
+            registry.counter("rejected.failed_over").inc(shed - shard_down)
     registry.counter("router.requests_routed").inc(len(run.outcomes) - shed)
     registry.counter("router.requests_shed").inc(shed)
+    if run.failed_over_indices:
+        registry.counter("router.requests_failed_over").inc(
+            len(run.failed_over_indices)
+        )
+        survived = (run.outcomes[index] for index in run.failed_over_indices)
+        registry.histogram("failover.latency_s").observe_many(
+            outcome.response_time_s
+            for outcome in survived
+            if isinstance(outcome, Completed)
+        )
+    if run.requests_replayed:
+        registry.counter("router.requests_replayed").inc(
+            run.requests_replayed
+        )
+    if run.recoveries:
+        registry.counter("recovery.restarts").inc(len(run.recoveries))
 
 
 __all__ = [

@@ -122,5 +122,28 @@ class HashRing:
         """Vectorised :meth:`lookup` (keeps property tests readable)."""
         return [self.lookup(key, live) for key in keys]
 
+    def successors(self, key: object) -> List[int]:
+        """Every shard, in first-encounter clockwise order from ``key``.
+
+        Element 0 is :meth:`lookup`'s owner (all shards live); elements
+        1.. are the deterministic failover order the replicated router
+        walks when earlier shards are down. The order depends only on
+        ``(num_shards, vnodes, seed, key)`` — never on the live set —
+        so two processes (and two incarnations of the same deployment)
+        always agree on where a key fails over next.
+        """
+        start = bisect.bisect_right(self._hashes, self.key_point(key))
+        total = len(self._points)
+        seen: Set[int] = set()
+        order: List[int] = []
+        for offset in range(total):
+            _point, shard = self._points[(start + offset) % total]
+            if shard not in seen:
+                seen.add(shard)
+                order.append(shard)
+                if len(order) == self.num_shards:
+                    break
+        return order
+
 
 __all__ = ["DEFAULT_VNODES", "HashRing"]

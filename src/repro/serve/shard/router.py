@@ -10,55 +10,73 @@ shard sessions run:
 
 * **serial** — every shard session runs in-process, one after another.
   This is the reference path the determinism tier compares against.
-* **multiprocess** — one worker process per shard behind a
-  request/response queue pair (the PR 2 ``SweepRunner`` pickling
-  seams). The collection barrier polls worker liveness, so a shard
-  dying mid-run (the chaos drill's SIGKILL, or a crash) degrades into
-  typed ``shard_down`` outcomes instead of a hang — the satellite fix
-  for the PR 5 drain deadline assuming one shared clock: there is no
-  cross-process clock to wait on, only queues and liveness.
+* **multiprocess** — one worker process per shard, owned by a
+  :class:`~repro.serve.shard.supervisor.ShardSupervisor` behind
+  request/response queue pairs (the PR 2 ``SweepRunner`` pickling
+  seams). The collection barrier polls worker liveness *and* a
+  heartbeat-fed response timeout, so a shard dying — or hanging —
+  mid-run degrades into typed outcomes instead of a wedge.
 
-Replicas of an object never span shards (the topology builds each
-shard's catalog over its own data subset), so a dead shard's keyspace
-is *shed*, never re-routed — availability degrades in exactly the
-paper's per-partition shape.
+What happens to a dead shard's keyspace depends on the topology:
+
+* ``shard_replication_factor = 1`` (default): replicas never span
+  shards, so the keyspace is *shed* as typed ``shard_down`` rejections
+  — availability degrades in exactly the paper's per-partition shape.
+* ``R > 1``: every data id also lives on ``R - 1`` replica shards
+  (:func:`~repro.serve.shard.topology.replica_table`), and the router
+  fails a dead shard's keys over to the next live replica shard in
+  deterministic table order. Completions that travelled through
+  failover are counted (and their latency folded into the merged
+  ``failover.latency_s`` histogram); a request whose *replica* shard
+  then also dies is shed as the diagnosably-distinct ``failed_over``.
+* **supervised recovery**: scripted ``recover_at_s`` restarts (or
+  barrier-time escalation with ``supervise=True``) respawn the dead
+  worker from its derived seed and replay its outbox — the restarted
+  virtual session reproduces the lost incarnation exactly, so
+  first-wins request-id dedup makes duplicate replies harmless.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import queue
 import time
 from dataclasses import dataclass
-from multiprocessing.process import BaseProcess
-from multiprocessing.queues import Queue as MpQueue
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.serve.admission import Outcome, Rejected, RejectReason
+from repro.serve.admission import Completed, Outcome, Rejected, RejectReason
 from repro.serve.loadgen import LOOP_OPEN, LoadgenConfig, open_loop_schedule
 from repro.serve.shard.messages import (
-    ShardFailure,
+    ShardHang,
     ShardKill,
     ShardRequest,
     ShardResult,
+)
+from repro.serve.shard.supervisor import (
+    BARRIER_POLL_S,
+    REQUEST_CHUNK,
+    RecoveryReport,
+    ShardSupervisor,
+    SupervisorConfig,
 )
 from repro.serve.shard.topology import (
     ShardSpec,
     ShardedServiceConfig,
     assign_data,
     build_topology,
+    replica_table,
 )
-from repro.serve.shard.worker import run_shard_session, shard_worker_main
+from repro.serve.shard.worker import run_shard_session
 
-#: Collection-barrier liveness poll interval (wall seconds).
-BARRIER_POLL_S = 0.2
+#: Hang-escalation default when hang injection is scripted but no
+#: explicit response timeout was given (wall seconds of worker silence).
+DEFAULT_RESPONSE_TIMEOUT_S = 30.0
 
-#: Requests per queue put. Chunking amortises pickle + pipe overhead
-#: (one serialisation per chunk, not per request); the worker flattens
-#: chunks back into the identical ordered stream, and every chunk
-#: boundary is forced flush-before-kill, so chaos timing is unaffected.
-REQUEST_CHUNK = 256
+#: One scripted chaos/recovery step: ``(time_s, priority, shard_id,
+#: kind, kill)``. Priority orders same-instant steps: recoveries before
+#: kills (so kill-during-recovery at one instant hits the *new*
+#: incarnation), kills before hangs.
+_Event = Tuple[float, int, int, str, Optional[ShardKill]]
 
 
 @dataclass(frozen=True)
@@ -69,10 +87,12 @@ class ShardedRunResult:
         outcomes: Every outcome in global schedule order (index 0 is
             the first scheduled arrival).
         shard_results: Live shards' session results, shard-id order.
-            Shards that died mid-run have no entry.
-        shards_down: Ids of shards that died, ascending.
-        requests_lost: Outcomes the *router* synthesised as
-            ``shard_down`` (shed before send plus sent-but-unanswered).
+            Shards that died mid-run (and never recovered) have no
+            entry.
+        shards_down: Ids of shards down at the end of the run,
+            ascending. A killed-then-recovered shard is *not* here.
+        requests_lost: Outcomes the *router* synthesised as terminal
+            rejections (``shard_down`` plus ``failed_over``).
         router_wall_s: Wall seconds for the whole run, including
             process management (measurement only; never serialised
             into reports).
@@ -80,6 +100,17 @@ class ShardedRunResult:
             during the run (in the serial path this *includes* shard
             compute, which ran in-process).
         multiprocess: Which execution path produced this.
+        requests_failed_over: Requests served by (or parked on) a
+            shard other than their primary owner because the owner was
+            down.
+        requests_replayed: Outbox messages re-sent to restarted
+            workers across every recovery.
+        duplicates_suppressed: Duplicate per-request outcomes dropped
+            by first-wins request-id dedup at the merge.
+        failed_over_indices: Global schedule indices that travelled
+            through failover, ascending.
+        recoveries: One :class:`RecoveryReport` per completed worker
+            recovery, oldest first.
     """
 
     outcomes: Tuple[Outcome, ...]
@@ -89,6 +120,11 @@ class ShardedRunResult:
     router_wall_s: float
     router_cpu_s: float
     multiprocess: bool
+    requests_failed_over: int = 0
+    requests_replayed: int = 0
+    duplicates_suppressed: int = 0
+    failed_over_indices: Tuple[int, ...] = ()
+    recoveries: Tuple[RecoveryReport, ...] = ()
 
     @property
     def events_processed(self) -> int:
@@ -142,6 +178,16 @@ class ShardedRunResult:
             return 0.0
         return self.events_processed / critical_s
 
+    @property
+    def availability(self) -> float:
+        """Completed fraction of the offered schedule (the SLO bound)."""
+        if not self.outcomes:
+            return 0.0
+        completed = sum(
+            1 for outcome in self.outcomes if isinstance(outcome, Completed)
+        )
+        return completed / len(self.outcomes)
+
 
 def plan_messages(
     config: ShardedServiceConfig, load: LoadgenConfig
@@ -170,12 +216,14 @@ def plan_messages(
     ]
 
 
-def _validate_kills(
-    config: ShardedServiceConfig, kills: Sequence[ShardKill]
-) -> List[ShardKill]:
-    victims = [kill.shard_id for kill in kills]
-    if len(set(victims)) != len(victims):
-        raise ConfigurationError("at most one kill per shard")
+def _validate_chaos(
+    config: ShardedServiceConfig,
+    kills: Sequence[ShardKill],
+    hangs: Sequence[ShardHang],
+    supervise: bool,
+) -> List[_Event]:
+    """Check the chaos script and compile it to a sorted event list."""
+    by_shard: Dict[int, List[ShardKill]] = {}
     for kill in kills:
         if not 0 <= kill.shard_id < config.num_shards:
             raise ConfigurationError(
@@ -186,9 +234,67 @@ def _validate_kills(
             raise ConfigurationError(
                 f"kill time must be >= 0, got {kill.time_s}"
             )
-    if len(victims) >= config.num_shards:
+        if kill.recover_at_s is not None and kill.recover_at_s < kill.time_s:
+            raise ConfigurationError(
+                f"recover_at_s={kill.recover_at_s} precedes the kill at "
+                f"{kill.time_s} on shard {kill.shard_id}"
+            )
+        by_shard.setdefault(kill.shard_id, []).append(kill)
+    for shard_id, sequence in by_shard.items():
+        sequence.sort(key=lambda kill: kill.time_s)
+        for previous, following in zip(sequence, sequence[1:]):
+            if previous.recover_at_s is None:
+                raise ConfigurationError(
+                    f"shard {shard_id} is killed twice but the first kill "
+                    "never recovers; at most one kill per shard unless "
+                    "each earlier kill sets recover_at_s"
+                )
+            if following.time_s < previous.recover_at_s:
+                raise ConfigurationError(
+                    f"shard {shard_id}: kill at {following.time_s} lands "
+                    f"inside the previous outage (recovery at "
+                    f"{previous.recover_at_s})"
+                )
+    hang_shards = [hang.shard_id for hang in hangs]
+    if len(set(hang_shards)) != len(hang_shards):
+        raise ConfigurationError("at most one hang per shard")
+    for hang in hangs:
+        if not 0 <= hang.shard_id < config.num_shards:
+            raise ConfigurationError(
+                f"hang targets unknown shard {hang.shard_id}; "
+                f"deployment has shards 0..{config.num_shards - 1}"
+            )
+        if hang.time_s < 0:
+            raise ConfigurationError(
+                f"hang time must be >= 0, got {hang.time_s}"
+            )
+        if hang.shard_id in by_shard:
+            raise ConfigurationError(
+                f"shard {hang.shard_id} is both hung and killed; script "
+                "one failure mode per shard (escalation handles the rest)"
+            )
+    terminal = {
+        shard_id
+        for shard_id, sequence in by_shard.items()
+        if sequence[-1].recover_at_s is None
+    }
+    if (
+        not supervise
+        and config.shard_replication_factor == 1
+        and len(terminal) >= config.num_shards
+    ):
         raise ConfigurationError("cannot kill every shard in the deployment")
-    return sorted(kills, key=lambda kill: (kill.time_s, kill.shard_id))
+    events: List[_Event] = []
+    for kill in kills:
+        events.append((kill.time_s, 1, kill.shard_id, "kill", kill))
+        if kill.recover_at_s is not None:
+            events.append(
+                (kill.recover_at_s, 0, kill.shard_id, "recover", kill)
+            )
+    for hang in hangs:
+        events.append((hang.time_s, 2, hang.shard_id, "hang", None))
+    events.sort(key=lambda event: event[:3])
+    return events
 
 
 def run_sharded(
@@ -196,6 +302,9 @@ def run_sharded(
     load: LoadgenConfig,
     multiprocess: bool = True,
     kills: Sequence[ShardKill] = (),
+    hangs: Sequence[ShardHang] = (),
+    supervise: bool = False,
+    response_timeout_s: Optional[float] = None,
     barrier_timeout_s: Optional[float] = None,
 ) -> ShardedRunResult:
     """Run one sharded serving session end to end (blocking).
@@ -206,66 +315,123 @@ def run_sharded(
         multiprocess: Worker processes (True) or the in-process serial
             reference path (False).
         kills: Chaos drill: SIGKILL each victim shard just before the
-            first arrival at or past its ``time_s``. Multiprocess only.
-        barrier_timeout_s: Optional wall-clock cap on the collection
-            barrier (None = wait for liveness to settle naturally).
+            first arrival at or past its ``time_s``; a kill carrying
+            ``recover_at_s`` is restarted (outbox replayed) at that
+            schedule instant. Multiprocess only.
+        hangs: Chaos drill: SIGSTOP each victim at its schedule
+            instant — alive but silent, the failure mode the response
+            timeout exists for. Multiprocess only.
+        supervise: Restart dead or escalated workers at the collection
+            barrier when their outbox still holds unanswered requests
+            (instead of shedding their keyspace).
+        response_timeout_s: Barrier-side silence budget per shard
+            before escalation; defaults to
+            :data:`DEFAULT_RESPONSE_TIMEOUT_S` when hangs are scripted,
+            else off.
+        barrier_timeout_s: Optional wall-clock cap on the whole
+            collection barrier (None = wait for liveness to settle
+            naturally).
 
     Returns:
         The reassembled :class:`ShardedRunResult`.
     """
-    if kills and not multiprocess:
+    if (kills or hangs) and not multiprocess:
         raise ConfigurationError(
-            "chaos kills need worker processes; serial runs cannot lose a shard"
+            "chaos drills need worker processes; serial runs cannot lose a shard"
         )
-    pending_kills = _validate_kills(config, kills)
+    events = _validate_chaos(config, kills, hangs, supervise)
+    if hangs and response_timeout_s is None:
+        response_timeout_s = DEFAULT_RESPONSE_TIMEOUT_S
     routing_table = assign_data(config)
     specs = build_topology(config, routing_table)
     messages = plan_messages(config, load)
     owners = [routing_table[message.data_id] for message in messages]
+    replicas = replica_table(config, routing_table)
+    supervisor_config = SupervisorConfig(
+        supervise=supervise, response_timeout_s=response_timeout_s
+    )
     # Wall/CPU reads below measure router cost only; routing decisions
     # and outcomes never depend on them.
     started_wall_s = time.perf_counter()  # reprolint: disable=RPL101
     started_cpu_s = time.process_time()  # reprolint: disable=RPL101
     if multiprocess:
-        outcomes, results, down, lost = _run_multiprocess(
-            config, specs, messages, owners, pending_kills, barrier_timeout_s
+        run = _run_multiprocess(
+            config,
+            specs,
+            messages,
+            owners,
+            replicas,
+            events,
+            supervisor_config,
+            barrier_timeout_s,
         )
     else:
-        outcomes, results, down, lost = _run_serial(specs, messages, owners)
+        run = _run_serial(specs, messages, owners)
     elapsed_wall_s = time.perf_counter() - started_wall_s  # reprolint: disable=RPL101
     elapsed_cpu_s = time.process_time() - started_cpu_s  # reprolint: disable=RPL101
     return ShardedRunResult(
-        outcomes=tuple(outcomes),
-        shard_results=tuple(results),
-        shards_down=tuple(sorted(down)),
-        requests_lost=lost,
+        outcomes=tuple(run.outcomes),
+        shard_results=tuple(run.results),
+        shards_down=tuple(sorted(run.down)),
+        requests_lost=run.lost,
         router_wall_s=elapsed_wall_s,
         router_cpu_s=elapsed_cpu_s,
         multiprocess=multiprocess,
+        requests_failed_over=len(run.failed_over),
+        requests_replayed=run.replayed,
+        duplicates_suppressed=run.duplicates,
+        failed_over_indices=tuple(sorted(run.failed_over)),
+        recoveries=run.recoveries,
     )
 
 
-def _shard_down_outcome(message: ShardRequest) -> Rejected:
+@dataclass
+class _RunOutput:
+    """What either execution path hands back to :func:`run_sharded`."""
+
+    outcomes: List[Outcome]
+    results: List[ShardResult]
+    down: List[int]
+    lost: int
+    failed_over: Set[int]
+    replayed: int
+    duplicates: int
+    recoveries: Tuple[RecoveryReport, ...]
+
+
+def _terminal_outcome(message: ShardRequest, reason: RejectReason) -> Rejected:
     return Rejected(
         client_id=message.client_id,
         data_id=message.data_id,
-        reason=RejectReason.SHARD_DOWN,
+        reason=reason,
         rejected_s=message.arrival_s,
     )
 
 
 def _place_outcomes(
     slots: List[Optional[Outcome]], result: ShardResult
-) -> None:
+) -> int:
+    """First-wins placement; returns duplicates suppressed.
+
+    Duplicates can only arise from a recovery race (a worker answered
+    at the same moment the barrier escalated it, and its replayed
+    successor answered again). Replay determinism makes both answers
+    identical, which is what makes first-wins safe.
+    """
+    duplicates = 0
     for position, index in enumerate(result.indices):
-        slots[index] = result.outcomes[position]
+        if slots[index] is None:
+            slots[index] = result.outcomes[position]
+        else:
+            duplicates += 1
+    return duplicates
 
 
 def _run_serial(
     specs: Sequence[ShardSpec],
     messages: Sequence[ShardRequest],
     owners: Sequence[int],
-) -> Tuple[List[Outcome], List[ShardResult], List[int], int]:
+) -> _RunOutput:
     """Reference path: each shard session runs in-process, shard order."""
     per_shard: Dict[int, List[Optional[ShardRequest]]] = {
         spec.shard_id: [] for spec in specs
@@ -278,7 +444,16 @@ def _run_serial(
         result = run_shard_session(spec, per_shard[spec.shard_id])
         results.append(result)
         _place_outcomes(slots, result)
-    return _finish(slots, messages), results, [], 0
+    return _RunOutput(
+        outcomes=_finish(slots, messages),
+        results=results,
+        down=[],
+        lost=0,
+        failed_over=set(),
+        replayed=0,
+        duplicates=0,
+        recoveries=(),
+    )
 
 
 def _run_multiprocess(
@@ -286,156 +461,157 @@ def _run_multiprocess(
     specs: Sequence[ShardSpec],
     messages: Sequence[ShardRequest],
     owners: Sequence[int],
-    pending_kills: List[ShardKill],
+    replicas: Sequence[Tuple[int, ...]],
+    events: List[_Event],
+    supervisor_config: SupervisorConfig,
     barrier_timeout_s: Optional[float],
-) -> Tuple[List[Outcome], List[ShardResult], List[int], int]:
-    """One worker process per shard; liveness-aware collection barrier."""
+) -> _RunOutput:
+    """One supervised worker process per shard."""
     # fork keeps startup cheap on the platforms CI runs; everything on
     # the queues is picklable, so spawn-only platforms work too.
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
-    request_qs = [context.Queue() for _ in specs]
-    response_qs = [context.Queue() for _ in specs]
-    processes = [
-        context.Process(
-            target=shard_worker_main,
-            args=(spec, request_qs[shard_id], response_qs[shard_id]),
-            name=f"shard-{shard_id}",
-            daemon=True,
-        )
-        for shard_id, spec in enumerate(specs)
-    ]
+    supervisor = ShardSupervisor(context, specs, supervisor_config)
+    supervise = supervisor_config.supervise
+    replicated = config.shard_replication_factor > 1
     slots: List[Optional[Outcome]] = [None] * len(messages)
-    sent: Dict[int, List[ShardRequest]] = {
-        shard_id: [] for shard_id in range(len(specs))
-    }
-    buffers: Dict[int, List[ShardRequest]] = {
-        shard_id: [] for shard_id in range(len(specs))
-    }
-    down: List[int] = []
+    failed_over: Set[int] = set()
+    pending_recovery: Set[int] = set()
     lost = 0
 
-    def flush(shard_id: int) -> None:
-        if buffers[shard_id]:
-            request_qs[shard_id].put(list(buffers[shard_id]))
-            buffers[shard_id].clear()
+    def terminal(message: ShardRequest, dead_shard: int) -> None:
+        """Synthesise the typed loss for one unanswerable request."""
+        nonlocal lost
+        reason = (
+            RejectReason.SHARD_DOWN
+            if owners[message.index] == dead_shard
+            else RejectReason.FAILED_OVER
+        )
+        slots[message.index] = _terminal_outcome(message, reason)
+        lost += 1
+
+    def route(message: ShardRequest) -> None:
+        """Send one request to the first usable shard in replica order."""
+        chain = replicas[message.data_id]
+        primary = chain[0]
+        target = next(
+            (shard for shard in chain if supervisor.is_live(shard)), None
+        )
+        if target is None:
+            # No live replica. Park on a holder that will be restarted
+            # (scripted recovery, or barrier restart when supervising)
+            # so the replay answers it; otherwise the key is lost.
+            target = next(
+                (
+                    shard
+                    for shard in chain
+                    if shard in pending_recovery or supervise
+                ),
+                None,
+            )
+            if target is None:
+                terminal(message, primary)
+                return
+        supervisor.enqueue(target, message)
+        if target != primary:
+            failed_over.add(message.index)
+            supervisor.note_failover(primary)
+
+    def on_kill(kill: ShardKill) -> None:
+        # Pre-kill arrivals must actually be *sent* before the victim
+        # dies, or the drill would shed them spuriously.
+        supervisor.flush_all()
+        victim = kill.shard_id
+        supervisor.kill(victim)
+        if kill.recover_at_s is not None:
+            # The scripted restart will replay the outbox verbatim.
+            pending_recovery.add(victim)
+            return
+        if not replicated:
+            # Keyspace amputated (or, when supervising, replayed whole
+            # at the barrier restart): the outbox stays put either way.
+            return
+        # Unanswered outbox messages move to the next live replica —
+        # results only travel at session end, so nothing was answered.
+        outbox = supervisor.outbox(victim)
+        supervisor.drop_outbox(victim)
+        for message in outbox:
+            chain = replicas[message.data_id]
+            target = next(
+                (shard for shard in chain if supervisor.is_live(shard)), None
+            )
+            if target is None:
+                if supervise:
+                    # Park back on the victim; its barrier restart
+                    # replays exactly these strays.
+                    supervisor.enqueue(victim, message)
+                else:
+                    terminal(message, victim)
+                continue
+            supervisor.enqueue(target, message)
+            if target != owners[message.index]:
+                failed_over.add(message.index)
+            supervisor.note_failover(victim)
+
+    def on_event(event: _Event) -> None:
+        _time_s, _priority, shard_id, kind, _kill = event
+        if kind == "kill":
+            assert _kill is not None
+            on_kill(_kill)
+        elif kind == "hang":
+            supervisor.flush(shard_id)
+            supervisor.hang(shard_id)
+        else:  # recover
+            pending_recovery.discard(shard_id)
+            supervisor.restart(shard_id)
 
     try:
-        for process in processes:
-            process.start()
-        kill_cursor = 0
-        for message, owner in zip(messages, owners):
+        supervisor.start()
+        cursor = 0
+        for message in messages:
             while (
-                kill_cursor < len(pending_kills)
-                and message.arrival_s >= pending_kills[kill_cursor].time_s
+                cursor < len(events)
+                and message.arrival_s >= events[cursor][0]
             ):
-                # Pre-kill arrivals must actually be *sent* before the
-                # victim dies, or the drill would shed them spuriously.
-                for shard_id in range(len(specs)):
-                    if shard_id not in down:
-                        flush(shard_id)
-                victim = pending_kills[kill_cursor].shard_id
-                processes[victim].kill()
-                processes[victim].join()
-                down.append(victim)
-                kill_cursor += 1
-            if owner in down:
-                slots[message.index] = _shard_down_outcome(message)
-                lost += 1
-                continue
-            sent[owner].append(message)
-            buffers[owner].append(message)
-            if len(buffers[owner]) >= REQUEST_CHUNK:
-                flush(owner)
-        for shard_id in range(len(specs)):
-            if shard_id not in down:
-                flush(shard_id)
-                request_qs[shard_id].put(None)
-        results, barrier_down = _collect(
-            processes, response_qs, down, barrier_timeout_s
-        )
-        down.extend(barrier_down)
+                on_event(events[cursor])
+                cursor += 1
+            route(message)
+        # Steps scheduled past the last arrival still run — a recovery
+        # at the schedule tail must rejoin (and replay) within the run.
+        while cursor < len(events):
+            on_event(events[cursor])
+            cursor += 1
+        supervisor.close_streams()
+        results, _ = supervisor.collect(barrier_timeout_s)
+        results.sort(key=lambda result: result.shard_id)
+        duplicates = 0
         for result in results:
-            _place_outcomes(slots, result)
-        # Requests sent to a shard that died before replying are lost:
-        # synthesise their shard_down outcomes at the arrival instant.
-        for shard_id in sorted(down):
-            for message in sent[shard_id]:
+            found = _place_outcomes(slots, result)
+            duplicates += found
+            supervisor.note_duplicates(result.shard_id, found)
+        # Requests parked on (or sent to) a shard that is down for good
+        # are lost: synthesise their typed outcomes at the arrival
+        # instant — shard_down for the primary's own keys, failed_over
+        # for keys that had already been re-routed onto the corpse.
+        down = list(supervisor.down_shards)
+        for shard_id in down:
+            for message in supervisor.outbox(shard_id):
                 if slots[message.index] is None:
-                    slots[message.index] = _shard_down_outcome(message)
-                    lost += 1
-        return _finish(slots, messages), results, down, lost
+                    terminal(message, shard_id)
+        return _RunOutput(
+            outcomes=_finish(slots, messages),
+            results=results,
+            down=down,
+            lost=lost,
+            failed_over=failed_over,
+            replayed=supervisor.requests_replayed,
+            duplicates=duplicates,
+            recoveries=supervisor.recovery_reports(),
+        )
     finally:
-        for process in processes:
-            if process.is_alive():
-                process.terminate()
-            process.join()
-        for request_q in request_qs:
-            request_q.close()
-            request_q.cancel_join_thread()
-        for response_q in response_qs:
-            response_q.close()
-            response_q.cancel_join_thread()
-
-
-def _collect(
-    processes: Sequence[BaseProcess],
-    response_qs: Sequence["MpQueue[object]"],
-    already_down: Sequence[int],
-    barrier_timeout_s: Optional[float],
-) -> Tuple[List[ShardResult], List[int]]:
-    """The collection barrier: one reply (or a death) per live shard.
-
-    Polls each shard's response queue with a short timeout and checks
-    worker liveness between polls, so a SIGKILLed worker (which never
-    replies) is detected instead of awaited forever. A final
-    ``get_nowait`` closes the race where the worker replied and *then*
-    exited between two polls.
-    """
-    # Barrier pacing is wall-clock by nature (it guards against real
-    # process death); results are unaffected by the poll cadence.
-    barrier_start_s = time.monotonic()  # reprolint: disable=RPL101
-    results: List[ShardResult] = []
-    newly_down: List[int] = []
-    for shard_id, process in enumerate(processes):
-        if shard_id in already_down:
-            continue
-        reply: Optional[object] = None
-        while reply is None:
-            if (
-                barrier_timeout_s is not None
-                and time.monotonic() - barrier_start_s  # reprolint: disable=RPL101
-                > barrier_timeout_s
-            ):
-                raise SimulationError(
-                    f"collection barrier exceeded {barrier_timeout_s} s "
-                    f"waiting on shard {shard_id}"
-                )
-            try:
-                reply = response_qs[shard_id].get(timeout=BARRIER_POLL_S)
-            except queue.Empty:
-                if process.is_alive():
-                    continue
-                try:
-                    reply = response_qs[shard_id].get_nowait()
-                except queue.Empty:
-                    newly_down.append(shard_id)
-                    break
-        if reply is None:
-            continue
-        if isinstance(reply, ShardFailure):
-            raise SimulationError(
-                f"shard {reply.shard_id} worker failed: {reply.error}"
-            )
-        if not isinstance(reply, ShardResult):
-            raise SimulationError(
-                f"shard {shard_id} sent an unexpected reply "
-                f"{type(reply).__name__}"
-            )
-        results.append(reply)
-    return results, newly_down
+        supervisor.shutdown()
 
 
 def _finish(
@@ -455,6 +631,8 @@ def _finish(
 
 __all__ = [
     "BARRIER_POLL_S",
+    "DEFAULT_RESPONSE_TIMEOUT_S",
+    "REQUEST_CHUNK",
     "ShardedRunResult",
     "plan_messages",
     "run_sharded",

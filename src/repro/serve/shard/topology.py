@@ -14,13 +14,21 @@ A sharded deployment is a pure function of one
   consistent-hash ring (:class:`~repro.serve.shard.ring.HashRing`).
   The router routes with :func:`assign_data`'s exact output, so
   placement and routing can never disagree.
-* **Replicas stay local**: each shard builds its placement catalog over
-  *its own* data subset and *its own* disks
-  (``ServiceConfig.make_catalog(data_ids)``), so every replica of an
-  object lives on exactly one shard. That is what makes a shard worker
-  a complete, independently-deterministic service — and what makes a
-  dead shard's keyspace unservable (typed ``shard_down``) rather than
-  silently degraded.
+* **Replicas are shard-local by default** (``shard_replication_factor
+  = 1``): each shard builds its placement catalog over *its own* data
+  subset and *its own* disks (``ServiceConfig.make_catalog(data_ids)``),
+  so every replica of an object lives on exactly one shard. That is
+  what makes a shard worker a complete, independently-deterministic
+  service — and what makes a dead shard's keyspace unservable (typed
+  ``shard_down``) rather than silently degraded.
+* **Cross-shard replication** (``shard_replication_factor = R > 1``)
+  trades that amputation for availability: every data id is placed on
+  ``R`` distinct shards — its primary owner plus ring successors (flat
+  tail) or greedy weight-balanced picks (hot head) — and the router
+  fails a dead shard's keys over to the next live replica shard in
+  :func:`replica_table` order. The R=1 topology is bit-for-bit the
+  pre-replication one, so the pinned R=1 determinism digest is
+  untouched.
 * **Seeds** are decorrelated per shard (``seed + 7919 * (shard+1)``) so
   shard workloads don't mirror each other, while the whole deployment
   stays reproducible from the one top-level seed.
@@ -66,6 +74,14 @@ class ShardedServiceConfig:
         hot_data_ids: Popularity ranks assigned greedily by Zipf weight
             instead of by the ring (0 = pure consistent hashing).
         drain_grace_s: Per-shard drain deadline in seconds.
+        shard_replication_factor: Distinct shards holding each data id
+            (1 = shard-local replicas only, the pre-replication
+            topology; R > 1 enables cross-shard failover).
+        disk_deaths: Scripted in-shard disk crash-stops as
+            ``(global_disk_id, at_s)`` pairs — the serving-layer
+            reading of the :mod:`repro.faults` drill idiom. Each entry
+            is mapped onto the owning shard's local disk id at topology
+            build.
     """
 
     policy: str = POLICY_ONLINE
@@ -86,6 +102,8 @@ class ShardedServiceConfig:
     vnodes: int = DEFAULT_VNODES
     hot_data_ids: int = 64
     drain_grace_s: float = 2.0
+    shard_replication_factor: int = 1
+    disk_deaths: Tuple[Tuple[DiskId, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -112,6 +130,21 @@ class ShardedServiceConfig:
                 f"than replication_factor={self.replication_factor}; "
                 "add disks or drop shards"
             )
+        if not 1 <= self.shard_replication_factor <= self.num_shards:
+            raise ConfigurationError(
+                f"shard_replication_factor must be in [1, num_shards="
+                f"{self.num_shards}], got {self.shard_replication_factor}"
+            )
+        for disk_id, at_s in self.disk_deaths:
+            if not 0 <= disk_id < self.num_disks:
+                raise ConfigurationError(
+                    f"disk death targets unknown disk {disk_id}; "
+                    f"fleet has disks 0..{self.num_disks - 1}"
+                )
+            if at_s < 0:
+                raise ConfigurationError(
+                    f"disk death time must be >= 0, got {at_s}"
+                )
 
     def ring(self) -> HashRing:
         """The deployment's routing ring (also used at topology build)."""
@@ -191,17 +224,81 @@ def assign_data(config: ShardedServiceConfig) -> List[int]:
     return owners
 
 
+def replica_table(
+    config: ShardedServiceConfig,
+    routing_table: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, ...]]:
+    """Replica shards of every data id, failover-priority order.
+
+    Element 0 of each tuple is the primary owner — exactly
+    :func:`assign_data`'s answer, so R=1 routing is unchanged. The
+    remaining ``shard_replication_factor - 1`` entries are the shards a
+    dead primary's traffic fails over to, tried left to right:
+
+    * **flat tail**: the key's ring successors
+      (:meth:`~repro.serve.shard.ring.HashRing.successors`) — a pure
+      function of the ring, so the failover order is stable across
+      processes and across live-set changes (a key never re-targets
+      because some *other* shard died).
+    * **hot head**: successive greedy picks by accumulated expected
+      replica weight — the energy-aware tie-break: rank 0's failover
+      copy alone is worth ~``1/H(num_data)`` of all traffic, so pushing
+      it onto whichever shard is already lightest keeps a degraded
+      deployment's load (and therefore its spun-up disk population)
+      balanced.
+
+    The router and the topology consume this exact table, so placement
+    and failover can never disagree.
+    """
+    if routing_table is None:
+        routing_table = assign_data(config)
+    replicas = config.shard_replication_factor
+    if replicas == 1:
+        return [(owner,) for owner in routing_table]
+    ring = config.ring()
+    exponent = config.zipf_exponent
+    hot = min(config.hot_data_ids, config.num_data)
+    # Start from the primaries' accumulated hot-head weights (the same
+    # sums assign_data's greedy built), so replica copies steer away
+    # from shards that are already hot with primary traffic.
+    loads = [0.0] * config.num_shards
+    for rank in range(hot):
+        loads[routing_table[rank]] += (rank + 1) ** -exponent
+    table: List[Tuple[int, ...]] = []
+    for rank in range(hot):
+        weight = (rank + 1) ** -exponent
+        chosen = [routing_table[rank]]
+        while len(chosen) < replicas:
+            lightest = min(
+                (s for s in range(config.num_shards) if s not in chosen),
+                key=lambda s: (loads[s], s),
+            )
+            chosen.append(lightest)
+            loads[lightest] += weight
+        table.append(tuple(chosen))
+    for data_id in range(hot, config.num_data):
+        order = ring.successors(data_id)
+        # successors()[0] is assign_data's tail owner by construction.
+        table.append(tuple(order[:replicas]))
+    return table
+
+
 def build_topology(
     config: ShardedServiceConfig,
     routing_table: Optional[Sequence[int]] = None,
 ) -> Tuple[ShardSpec, ...]:
     """Deterministically expand a deployment config into shard specs.
 
-    Every data id in ``range(num_data)`` is assigned to its
-    :func:`assign_data` owner; each shard gets a :class:`ServiceConfig`
-    scoped to its disk slice and derived seed. The union of shard data
-    sets is exactly the global population and the sets are pairwise
-    disjoint (pinned by ``tests/serve/test_shard_topology.py``).
+    Every data id in ``range(num_data)`` lands on every shard in its
+    :func:`replica_table` row — at the default
+    ``shard_replication_factor = 1`` that is exactly its
+    :func:`assign_data` owner, so shard data sets are pairwise disjoint
+    and their union is the global population (pinned by
+    ``tests/serve/test_shard_topology.py``); at R > 1 each id appears
+    on R distinct shards. Each shard gets a :class:`ServiceConfig`
+    scoped to its disk slice and derived seed, with any scripted
+    :attr:`~ShardedServiceConfig.disk_deaths` translated to the owning
+    shard's local disk ids.
 
     Args:
         config: The deployment.
@@ -212,13 +309,20 @@ def build_topology(
     """
     if routing_table is None:
         routing_table = assign_data(config)
+    replicas = replica_table(config, routing_table)
     owned: Dict[int, List[DataId]] = {
         shard: [] for shard in range(config.num_shards)
     }
-    for data_id, owner in enumerate(routing_table):
-        owned[owner].append(data_id)
+    for data_id, holders in enumerate(replicas):
+        for shard in holders:
+            owned[shard].append(data_id)
     specs: List[ShardSpec] = []
     for shard_id, (start, stop) in enumerate(config.disk_slices()):
+        local_deaths = tuple(
+            (disk_id - start, at_s)
+            for disk_id, at_s in config.disk_deaths
+            if start <= disk_id < stop
+        )
         service = ServiceConfig(
             policy=config.policy,
             num_disks=stop - start,
@@ -234,6 +338,7 @@ def build_topology(
             max_batch=config.max_batch,
             alpha=config.alpha,
             beta=config.beta,
+            disk_deaths=local_deaths,
         )
         specs.append(
             ShardSpec(
@@ -253,4 +358,5 @@ __all__ = [
     "ShardedServiceConfig",
     "assign_data",
     "build_topology",
+    "replica_table",
 ]

@@ -23,13 +23,14 @@ from __future__ import annotations
 import asyncio
 import time
 from multiprocessing.queues import Queue as MpQueue
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.serve.clock import virtual_run
 from repro.serve.loadgen import tally_outcomes
 from repro.serve.service import SchedulingService
 from repro.serve.shard.messages import (
     ShardFailure,
+    ShardProgress,
     ShardRequest,
     ShardResult,
 )
@@ -112,14 +113,21 @@ def run_shard_session(
 
 def _drain_chunks(
     request_q: "MpQueue[Optional[Sequence[ShardRequest]]]",
+    on_chunk: Optional[Callable[[int], None]] = None,
 ) -> Iterator[ShardRequest]:
     """Flatten the router's chunked stream until the ``None`` sentinel.
 
     The router batches requests per queue put (one pickle per chunk
     instead of per request) purely to cut serialisation overhead; the
     worker sees the identical flat, ordered message stream.
+    ``on_chunk`` (if given) fires with the running chunk count as each
+    chunk is taken off the queue — the liveness heartbeat hook.
     """
+    chunks = 0
     for chunk in iter(request_q.get, None):
+        chunks += 1
+        if on_chunk is not None:
+            on_chunk(chunks)
         for message in chunk:
             yield message
 
@@ -135,9 +143,20 @@ def shard_worker_main(
     exception re-raises (so the parent sees a non-zero exit *and* a
     reason); the router's collection barrier additionally polls worker
     liveness, so even a SIGKILL (no reply at all) cannot wedge it.
+    A :class:`ShardProgress` heartbeat precedes the reply for every
+    chunk consumed, which is what lets the barrier's response timeout
+    tell a slow worker from a hung one.
     """
+
+    def heartbeat(chunks: int) -> None:
+        response_q.put(
+            ShardProgress(shard_id=spec.shard_id, chunks_consumed=chunks)
+        )
+
     try:
-        result = run_shard_session(spec, _drain_chunks(request_q))
+        result = run_shard_session(
+            spec, _drain_chunks(request_q, on_chunk=heartbeat)
+        )
         response_q.put(result)
     except Exception as error:
         response_q.put(ShardFailure(shard_id=spec.shard_id, error=repr(error)))

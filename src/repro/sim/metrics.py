@@ -21,7 +21,17 @@ runs under the virtual clock serialise byte-identically.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError
 from repro.report import MetricsCollector, SimulationReport, percentile
@@ -103,6 +113,11 @@ class Histogram:
             self._sorted = False
         self._samples.append(value)
         self._total += value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples (the router's merge-time folds)."""
+        for value in values:
+            self.observe(value)
 
     @property
     def count(self) -> int:

@@ -28,6 +28,7 @@ from repro.serve.shard import (
     run_sharded,
     sharded_document,
 )
+from repro.serve.shard.messages import ShardProgress, ShardResult
 from repro.serve.shard.worker import shard_worker_main
 
 CONFIG = ShardedServiceConfig(num_shards=2, num_disks=12, seed=11)
@@ -69,6 +70,16 @@ def test_virtual_clocks_are_per_session() -> None:
     assert len(slow.outcomes) == len(fast.outcomes) == 40
 
 
+def _result(response_q: "multiprocessing.queues.Queue[object]") -> ShardResult:
+    """Next non-heartbeat reply off a worker's response queue."""
+    while True:
+        reply = response_q.get(timeout=60)
+        if isinstance(reply, ShardProgress):
+            continue
+        assert isinstance(reply, ShardResult)
+        return reply
+
+
 def test_skewed_horizons_do_not_wedge_the_barrier() -> None:
     """Real worker processes with ~1000x horizon skew both reply.
 
@@ -102,8 +113,9 @@ def test_skewed_horizons_do_not_wedge_the_barrier() -> None:
             request_qs[shard_id].put(None)
         # A generous wall bound: if the barrier semantics regressed to
         # clock-coupling, this get would hang and the timeout fails the
-        # test instead of wedging the suite.
-        replies = [response_qs[shard_id].get(timeout=60) for shard_id in (0, 1)]
+        # test instead of wedging the suite. Heartbeats precede the
+        # result on the response queue; skip past them.
+        replies = [_result(response_qs[shard_id]) for shard_id in (0, 1)]
     finally:
         for process in processes:
             if process.is_alive():

@@ -56,6 +56,22 @@ SMOKE_LOAD = LoadgenConfig(
     num_requests=800, rate_per_s=200.0, num_clients=8, seed=5
 )
 
+#: The replicated smoke: same fleet and load, three shards holding every
+#: data id on two of them. No faults are injected, so the digest pins
+#: that replication alone (catalog growth, failover-capable routing)
+#: changes no outcome bytes non-deterministically — keep in lockstep
+#: with the CI ``shard-smoke`` job and
+#: ``tests/serve/data/shard_smoke_r2.sha256``.
+SMOKE_R2_CONFIG = ShardedServiceConfig(
+    policy="online",
+    num_shards=3,
+    num_disks=18,
+    replication_factor=3,
+    shard_replication_factor=2,
+    seed=5,
+    window_s=1.0,
+)
+
 
 def test_multiprocess_run_is_byte_reproducible() -> None:
     first = run_sharded(SMOKE_CONFIG, SMOKE_LOAD)
@@ -93,6 +109,37 @@ def test_merged_document_digest_matches_the_pinned_tier() -> None:
     assert document_digest(document) == pinned, (
         "merged shard report changed bytes; if intentional, regenerate "
         "tests/serve/data/shard_smoke.sha256 (see its sibling README)"
+    )
+
+
+def test_replicated_paths_are_byte_identical() -> None:
+    """Layer 2 again, at ``shard_replication_factor = 2``."""
+    serial = run_sharded(SMOKE_R2_CONFIG, SMOKE_LOAD, multiprocess=False)
+    multi = run_sharded(SMOKE_R2_CONFIG, SMOKE_LOAD, multiprocess=True)
+    assert serial.outcomes == multi.outcomes
+    assert canonical_json(
+        sharded_document(SMOKE_R2_CONFIG, SMOKE_LOAD, serial)
+    ) == canonical_json(sharded_document(SMOKE_R2_CONFIG, SMOKE_LOAD, multi))
+    # Healthy replicated run: nothing failed over, nothing replayed.
+    assert multi.requests_failed_over == 0
+    assert multi.requests_replayed == 0
+    assert multi.recoveries == ()
+    completed = sum(1 for outcome in multi.outcomes if outcome.accepted)
+    assert multi.availability == completed / len(multi.outcomes)
+
+
+def test_replicated_document_digest_matches_the_pinned_tier() -> None:
+    run = run_sharded(SMOKE_R2_CONFIG, SMOKE_LOAD, multiprocess=False)
+    document = sharded_document(SMOKE_R2_CONFIG, SMOKE_LOAD, run)
+    validate_bench_payload(document)
+    deployment = document["result"]["deployment"]
+    assert deployment["shard_replication_factor"] == 2
+    assert "recovery" not in document["result"]
+    pinned = (DATA_DIR / "shard_smoke_r2.sha256").read_text().strip()
+    assert document_digest(document) == pinned, (
+        "replicated merged report changed bytes; if intentional, "
+        "regenerate tests/serve/data/shard_smoke_r2.sha256 (see its "
+        "sibling README)"
     )
 
 

@@ -7,6 +7,12 @@ from repro.core.cost import (
     performance_cost,
 )
 from repro.core.covering_scheduler import CoveringSetScheduler
+from repro.core.fleet import (
+    KERNELS,
+    FleetCostState,
+    default_kernel,
+    set_default_kernel,
+)
 from repro.core.heuristic import HeuristicScheduler
 from repro.core.mwis import MWISOfflineScheduler, MWISResult
 from repro.core.offline import OfflineEvaluation, OfflineEvaluator, chain_energies
@@ -40,7 +46,9 @@ __all__ = [
     "BatchScheduler",
     "CostFunction",
     "CoveringSetScheduler",
+    "FleetCostState",
     "HeuristicScheduler",
+    "KERNELS",
     "InterArrivalEstimator",
     "MWISOfflineScheduler",
     "MWISResult",
@@ -61,6 +69,7 @@ __all__ = [
     "WSCBatchScheduler",
     "WriteOffloadingScheduler",
     "chain_energies",
+    "default_kernel",
     "energy_cost",
     "gap_energy",
     "make_scheduler",
@@ -68,4 +77,5 @@ __all__ = [
     "performance_cost",
     "saving_value",
     "saving_window",
+    "set_default_kernel",
 ]

@@ -1,0 +1,326 @@
+"""Columnar fleet-cost kernel: Eq. 5/Eq. 6 over the fleet as arrays.
+
+The per-arrival hot path of the online Heuristic — and the per-tick
+weight pass of the WSC batch scheduler — score disks with Eq. 5
+(marginal energy) and Eq. 6 (composite cost). The scalar path walks
+Python objects: one attribute dance per disk per score. This module
+mirrors the scheduling-relevant state of every disk into four parallel
+``array('d')`` columns (structure-of-arrays):
+
+``pi``
+    Idle-power slope in watts: ``profile.idle_power`` while the disk is
+    IDLE with a recorded ``Tlast``, else ``0.0``.
+``const``
+    Memoised constant term in joules: the standby/spin-down wake-up
+    cost ``Eup + Edown + TB * PI`` in those states, else ``0.0``.
+``tlast``
+    ``Tlast`` of Eq. 5 (seconds); meaningless — and masked by
+    ``pi == 0`` — until the disk first receives a request.
+``queue``
+    ``P(dk)`` of Eq. 7: queued requests plus the one in service.
+
+so that for every disk, at every instant::
+
+    E(dk) = (now - tlast) * pi + const          (Eq. 5)
+    C(dk) = E(dk) * alpha / beta + queue * lw   (Eq. 6, lw = 1 - alpha)
+
+**bit-identically** to the scalar reference (`repro.core.cost`): in the
+IDLE branch ``const`` is ``0.0`` and IEEE-754 guarantees ``x + 0.0 == x``
+for the non-negative products that occur; in every other branch ``pi``
+is ``0.0`` and the expression collapses to the memoised constant. The
+same expression evaluated elementwise by numpy ufuncs produces the same
+bits — numpy does not fuse the multiply-add.
+
+The columns are plain ``array('d')`` buffers: the disks' state-machine
+hooks write single slots at Python-float speed, while numpy views
+created once with :func:`numpy.frombuffer` share the memory zero-copy
+for the vectorised passes. Candidate sets smaller than
+:data:`SMALL_CANDIDATE_CUTOFF` are scored by a scalar gather over the
+columns instead — ufunc dispatch overhead dwarfs the arithmetic at
+replication-factor-sized candidate lists — with the identical
+arithmetic, so the adaptive switch can never change a decision.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.power.profile import DiskPowerProfile
+from repro.power.states import DiskPowerState
+from repro.types import DiskId
+
+#: Below this many candidates the scalar gather beats the numpy path
+#: (ufunc dispatch costs ~µs; the paper's replication factors are 1-5).
+SMALL_CANDIDATE_CUTOFF = 32
+
+#: Recognised cost-kernel names.
+KERNELS = ("python", "numpy")
+
+#: Environment variable consulted for the session-wide default kernel.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_default_kernel_override: Optional[str] = None
+
+
+def default_kernel() -> str:
+    """The kernel used when a config does not pin one explicitly.
+
+    Resolution order: :func:`set_default_kernel` override, then the
+    ``REPRO_KERNEL`` environment variable, then ``"numpy"``.
+    """
+    if _default_kernel_override is not None:
+        return _default_kernel_override
+    kernel = os.environ.get(KERNEL_ENV_VAR, "numpy")
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"{KERNEL_ENV_VAR}={kernel!r}: expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def set_default_kernel(kernel: Optional[str]) -> None:
+    """Process-wide kernel override (the CLI ``--kernel`` flag).
+
+    ``None`` clears the override, falling back to the environment.
+    """
+    global _default_kernel_override
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}: expected one of {KERNELS}")
+    _default_kernel_override = kernel
+
+
+class FleetCostState:
+    """Columnar mirror of per-disk scheduling state, plus its kernels.
+
+    Owned by the :class:`~repro.sim.storage.StorageSystem` when the
+    ``numpy`` kernel is selected and exposed to schedulers as
+    ``view.fleet``; each :class:`~repro.disk.drive.SimulatedDisk` holds
+    direct references to the columns and maintains its own slot from the
+    state-transition/submit/complete hooks.
+    """
+
+    __slots__ = (
+        "num_disks",
+        "pi",
+        "const",
+        "tlast",
+        "queue",
+        "idle_power",
+        "standby_marginal",
+        "_np_pi",
+        "_np_const",
+        "_np_tlast",
+        "_np_queue",
+    )
+
+    def __init__(
+        self,
+        num_disks: int,
+        profile: DiskPowerProfile,
+        initial_state: DiskPowerState = DiskPowerState.STANDBY,
+    ):
+        if num_disks <= 0:
+            raise ValueError("num_disks must be positive")
+        self.num_disks = num_disks
+        self.idle_power = profile.idle_power
+        # Same expression SimulatedDisk memoises for STANDBY/SPIN_DOWN.
+        self.standby_marginal = (
+            profile.transition_energy
+            + profile.breakeven_time * profile.idle_power
+        )
+        zeros = bytes(8 * num_disks)
+        self.pi = array("d", zeros)
+        self.const = array("d", zeros)
+        self.tlast = array("d", zeros)
+        self.queue = array("d", zeros)
+        if initial_state in (DiskPowerState.STANDBY, DiskPowerState.SPIN_DOWN):
+            for i in range(num_disks):
+                self.const[i] = self.standby_marginal
+        # IDLE starts with Tlast unset => pi stays 0 and E(dk) is 0,
+        # matching energy_cost()'s never-touched branch.
+        # Zero-copy float64 views over the same buffers: the scalar
+        # hooks write through the array('d') handles, the vector
+        # kernels read through these.
+        self._np_pi = np.frombuffer(self.pi, dtype=np.float64)
+        self._np_const = np.frombuffer(self.const, dtype=np.float64)
+        self._np_tlast = np.frombuffer(self.tlast, dtype=np.float64)
+        self._np_queue = np.frombuffer(self.queue, dtype=np.float64)
+
+    # -- scalar reads (tests, parity checks) ---------------------------
+
+    def marginal_energy(self, disk_id: DiskId, now: float) -> float:
+        """Eq. 5 marginal energy in joules from the columns (debug read)."""
+        return (now - self.tlast[disk_id]) * self.pi[disk_id] + self.const[
+            disk_id
+        ]
+
+    def cost(
+        self,
+        disk_id: DiskId,
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> float:
+        """Eq. 6 for one disk from the columns (reference/debug read)."""
+        energy = self.marginal_energy(disk_id, now)
+        return energy * alpha / beta + self.queue[disk_id] * load_weight
+
+    # -- kernels -------------------------------------------------------
+
+    def choose(
+        self,
+        candidates: Sequence[DiskId],
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> DiskId:
+        """Cheapest candidate by Eq. 6; ties by queue, then disk id.
+
+        Bit-identical to the scalar loop in
+        :meth:`repro.core.heuristic.HeuristicScheduler.choose` — same
+        arithmetic, same evaluation order, same unrolled tie-break.
+        Dispatches between the scalar gather and the vectorised pass on
+        candidate-set size; both branches are exposed directly
+        (:meth:`choose_scalar`, :meth:`choose_vector`) for parity tests
+        and microbenches.
+        """
+        if len(candidates) < SMALL_CANDIDATE_CUTOFF:
+            return self.choose_scalar(candidates, now, alpha, beta, load_weight)
+        return self.choose_vector(candidates, now, alpha, beta, load_weight)
+
+    def choose_scalar(
+        self,
+        candidates: Sequence[DiskId],
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> DiskId:
+        """The scalar-gather branch of :meth:`choose` (any size)."""
+        pi = self.pi
+        const = self.const
+        tlast = self.tlast
+        queue = self.queue
+        best_disk: int = -1
+        best_cost = 0.0
+        best_queue = 0.0
+        for disk_id in candidates:
+            energy = (now - tlast[disk_id]) * pi[disk_id] + const[disk_id]
+            queue_length = queue[disk_id]
+            cost = energy * alpha / beta + queue_length * load_weight
+            if (
+                best_disk < 0
+                or cost < best_cost
+                or (
+                    cost == best_cost
+                    and (
+                        queue_length < best_queue
+                        or (
+                            queue_length == best_queue
+                            and disk_id < best_disk
+                        )
+                    )
+                )
+            ):
+                best_cost = cost
+                best_queue = queue_length
+                best_disk = disk_id
+        assert best_disk >= 0  # candidates is non-empty
+        return best_disk
+
+    def choose_vector(
+        self,
+        candidates: Sequence[DiskId],
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> DiskId:
+        """The vectorised branch of :meth:`choose` (any size)."""
+        idx = np.asarray(candidates, dtype=np.intp)
+        energy = (now - self._np_tlast[idx]) * self._np_pi[idx]
+        energy += self._np_const[idx]
+        queue = self._np_queue[idx]
+        cost = energy * alpha / beta + queue * load_weight
+        sel = np.flatnonzero(cost == cost.min())
+        if len(sel) > 1:
+            tied_queues = queue[sel]
+            sel = sel[tied_queues == tied_queues.min()]
+            if len(sel) > 1:
+                return int(idx[sel].min())
+        return int(idx[sel[0]])
+
+    def weights(
+        self,
+        disk_ids: Sequence[DiskId],
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> List[float]:
+        """Eq. 6 weights for ``disk_ids`` (the WSC per-tick weight pass).
+
+        Bit-identical to calling :meth:`repro.core.cost.CostFunction.cost`
+        per disk. Both branches are exposed directly
+        (:meth:`weights_scalar`, :meth:`weights_vector`) for parity
+        tests and microbenches.
+        """
+        if len(disk_ids) < SMALL_CANDIDATE_CUTOFF:
+            return self.weights_scalar(disk_ids, now, alpha, beta, load_weight)
+        return self.weights_vector(disk_ids, now, alpha, beta, load_weight)
+
+    def weights_scalar(
+        self,
+        disk_ids: Sequence[DiskId],
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> List[float]:
+        """The scalar branch of :meth:`weights` (any size)."""
+        pi = self.pi
+        const = self.const
+        tlast = self.tlast
+        queue = self.queue
+        return [
+            ((now - tlast[d]) * pi[d] + const[d]) * alpha / beta
+            + queue[d] * load_weight
+            for d in disk_ids
+        ]
+
+    def weights_vector(
+        self,
+        disk_ids: Sequence[DiskId],
+        now: float,
+        alpha: float,
+        beta: float,
+        load_weight: float,
+    ) -> List[float]:
+        """The vectorised branch of :meth:`weights` (any size)."""
+        idx = np.asarray(disk_ids, dtype=np.intp)
+        energy = (now - self._np_tlast[idx]) * self._np_pi[idx]
+        energy += self._np_const[idx]
+        cost = energy * alpha / beta + self._np_queue[idx] * load_weight
+        result: List[float] = cost.tolist()
+        return result
+
+    def energies(self, disk_ids: Sequence[DiskId], now: float) -> List[float]:
+        """Eq. 5 energies for ``disk_ids`` (plain-WSC set weights)."""
+        if len(disk_ids) < SMALL_CANDIDATE_CUTOFF:
+            pi = self.pi
+            const = self.const
+            tlast = self.tlast
+            return [
+                (now - tlast[d]) * pi[d] + const[d] for d in disk_ids
+            ]
+        idx = np.asarray(disk_ids, dtype=np.intp)
+        energy = (now - self._np_tlast[idx]) * self._np_pi[idx]
+        energy += self._np_const[idx]
+        result: List[float] = energy.tolist()
+        return result

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.cost import PAPER_COST_FUNCTION, CostFunction, energy_cost
+from repro.core.fleet import FleetCostState
 from repro.core.scheduler import OnlineScheduler, SystemView, register_scheduler
 from repro.errors import ReplicaUnavailableError
 from repro.types import DiskId, Request
@@ -40,12 +41,24 @@ class HeuristicScheduler(OnlineScheduler):
             raise ReplicaUnavailableError(
                 f"no live replica for data {request.data_id}"
             )
+        cost_function = self.cost_function
+        # Columnar kernel: views that carry a FleetCostState mirror
+        # (StorageSystem under --kernel numpy) score candidates straight
+        # from the fleet columns — bit-identical to the loop below.
+        fleet: Optional[FleetCostState] = getattr(view, "fleet", None)
+        if fleet is not None:
+            return fleet.choose(
+                locations,
+                view.now,
+                cost_function.alpha,
+                cost_function.beta,
+                cost_function.load_weight,
+            )
         # Inlined CostFunction.cost(): this loop runs once per arrival and
         # dominated the profile; hoisting the weights and reading each
         # disk's queue once roughly halves its attribute traffic. The
         # arithmetic matches CostFunction.cost() bit for bit (evaluation
         # order `energy * alpha / beta` included).
-        cost_function = self.cost_function
         alpha = cost_function.alpha
         beta = cost_function.beta
         load_weight = cost_function.load_weight

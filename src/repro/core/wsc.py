@@ -14,10 +14,18 @@ Eq. 5 energy; both are supported (``use_cost_function`` flag).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.algorithms.set_cover import SetCoverInstance, greedy_weighted_set_cover
+import numpy as np
+
+from repro.algorithms.set_cover import (
+    SetCoverInstance,
+    greedy_weighted_set_cover,
+    greedy_weighted_set_cover_dense,
+    repr_tie_ranks,
+)
 from repro.core.cost import PAPER_COST_FUNCTION, CostFunction, energy_cost
+from repro.core.fleet import FleetCostState
 from repro.core.scheduler import BatchScheduler, SystemView, register_scheduler
 from repro.errors import ReplicaUnavailableError, SchedulingError
 from repro.types import DiskId, Request, RequestId
@@ -51,6 +59,10 @@ class WSCBatchScheduler(BatchScheduler):
     ) -> Dict[RequestId, DiskId]:
         if not requests:
             return {}
+        # One placement lookup per request, reused by the routing loop
+        # below (the same tuple — no simulation state changes inside a
+        # batch decision).
+        located: List[Tuple[DiskId, ...]] = []
         coverage: Dict[DiskId, List[RequestId]] = {}
         for request in requests:
             available = view.available_locations(request.data_id)
@@ -58,43 +70,122 @@ class WSCBatchScheduler(BatchScheduler):
                 raise ReplicaUnavailableError(
                     f"no live replica for data {request.data_id} in batch"
                 )
+            located.append(available)
             for disk_id in available:
                 coverage.setdefault(disk_id, []).append(request.request_id)
-        weights = {
-            disk_id: self._disk_weight(disk_id, view) for disk_id in coverage
-        }
-        instance = SetCoverInstance.build(
-            universe=[request.request_id for request in requests],
-            sets=coverage,
-            weights=weights,
-        )
-        chosen = greedy_weighted_set_cover(instance)
-        chosen_set = set(chosen)
+        fleet: Optional[FleetCostState] = getattr(view, "fleet", None)
+        if fleet is not None:
+            weights = self._fleet_weights(coverage, fleet, view.now)
+            chosen_set = self._cover_dense(requests, coverage, weights)
+        else:
+            weights = {
+                disk_id: self._disk_weight(disk_id, view)
+                for disk_id in coverage
+            }
+            instance = SetCoverInstance.build(
+                universe=[request.request_id for request in requests],
+                sets=coverage,
+                weights=weights,
+            )
+            chosen_set = set(greedy_weighted_set_cover(instance))
         # Route each request to its cheapest chosen location; tie-break on
-        # queue length so covered disks share load.
+        # queue length so covered disks share load, then on disk id. The
+        # unrolled comparison equals `min` with the old
+        # (weight, queue + extra, disk_id) tuple key without allocating
+        # one per candidate.
         result: Dict[RequestId, DiskId] = {}
         extra_load: Dict[DiskId, int] = {disk_id: 0 for disk_id in chosen_set}
-        for request in requests:
-            candidates = [
-                disk_id
-                for disk_id in view.available_locations(request.data_id)
-                if disk_id in chosen_set
-            ]
-            if not candidates:
+        disk_of = view.disk
+        for request, available in zip(requests, located):
+            best: Optional[DiskId] = None
+            best_weight = 0.0
+            best_load = 0
+            for disk_id in available:
+                if disk_id not in chosen_set:
+                    continue
+                weight = weights[disk_id]
+                load = disk_of(disk_id).queue_length + extra_load[disk_id]
+                if (
+                    best is None
+                    or weight < best_weight
+                    or (
+                        weight == best_weight
+                        and (
+                            load < best_load
+                            or (load == best_load and disk_id < best)
+                        )
+                    )
+                ):
+                    best = disk_id
+                    best_weight = weight
+                    best_load = load
+            if best is None:
                 raise SchedulingError(
                     f"set cover left request {request.request_id} uncovered"
                 )
-            best = min(
-                candidates,
-                key=lambda disk_id: (
-                    weights[disk_id],
-                    view.disk(disk_id).queue_length + extra_load[disk_id],
-                    disk_id,
-                ),
-            )
             extra_load[best] += 1
             result[request.request_id] = best
         return result
+
+    def _fleet_weights(
+        self,
+        coverage: Dict[DiskId, List[RequestId]],
+        fleet: FleetCostState,
+        now: float,
+    ) -> Dict[DiskId, float]:
+        """One vectorised Eq. 6 (or Eq. 5) pass over all covering disks.
+
+        Bit-identical to calling :meth:`_disk_weight` per disk: the
+        fleet columns encode the same memoised marginal-energy terms and
+        the kernels evaluate the same expressions in the same order.
+        """
+        disk_ids = list(coverage)
+        if self.use_cost_function:
+            cost_function = self.cost_function
+            values = fleet.weights(
+                disk_ids,
+                now,
+                cost_function.alpha,
+                cost_function.beta,
+                cost_function.load_weight,
+            )
+        else:
+            values = fleet.energies(disk_ids, now)
+        return dict(zip(disk_ids, values))
+
+    @staticmethod
+    def _cover_dense(
+        requests: Sequence[Request],
+        coverage: Dict[DiskId, List[RequestId]],
+        weights: Dict[DiskId, float],
+    ) -> Set[DiskId]:
+        """Greedy set cover through the dense vectorised solver.
+
+        Builds the 0/1 membership matrix directly from ``coverage``
+        (every element is coverable by construction — each request
+        contributed at least one disk) instead of the frozenset-churning
+        :meth:`SetCoverInstance.build`, and delegates to
+        :func:`greedy_weighted_set_cover_dense`, which reproduces the
+        scalar greedy's decisions exactly.
+        """
+        disk_ids = list(coverage)
+        column_of = {
+            request.request_id: column
+            for column, request in enumerate(requests)
+        }
+        membership = np.zeros(
+            (len(disk_ids), len(requests)), dtype=np.int64
+        )
+        for row, disk_id in enumerate(disk_ids):
+            for request_id in coverage[disk_id]:
+                membership[row, column_of[request_id]] = 1
+        weight_array = np.array(
+            [weights[disk_id] for disk_id in disk_ids], dtype=np.float64
+        )
+        chosen_rows = greedy_weighted_set_cover_dense(
+            membership, weight_array, repr_tie_ranks(disk_ids)
+        )
+        return {disk_ids[row] for row in chosen_rows}
 
     def _disk_weight(self, disk_id: DiskId, view: SystemView) -> float:
         disk = view.disk(disk_id)

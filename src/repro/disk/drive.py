@@ -22,6 +22,8 @@ Semantics match Section 2 of the paper:
 from __future__ import annotations
 
 import random
+from array import array
+from heapq import heappush
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
@@ -35,15 +37,63 @@ from repro.power.states import DiskPowerState
 from repro.types import DiskId, Request
 
 if TYPE_CHECKING:  # used only in annotations; avoids a package import cycle
+    from repro.core.fleet import FleetCostState
     from repro.faults.plan import SpinUpFaults
     from repro.sim.engine import EventCallback, ReusableTimer, SimulationEngine
 
 CompletionCallback = Callable[[Request, DiskId, float], None]
 FaultDeathCallback = Callable[[DiskId, List[Request]], None]
 
+#: Placeholder for the fleet column slots while no fleet is attached —
+#: keeps them non-Optional so the hot-path hooks skip None-narrowing.
+_NO_FLEET_COLUMN: "array[float]" = array("d")
+
+# Hot-path aliases: one global load instead of an enum attribute lookup
+# per state test in submit / completion (the two per-request functions).
+_HEALTHY = DiskHealth.HEALTHY
+_ACTIVE = DiskPowerState.ACTIVE
+_IDLE = DiskPowerState.IDLE
+_STANDBY = DiskPowerState.STANDBY
+
 
 class SimulatedDisk:
     """One disk inside the event-driven storage simulation."""
+
+    __slots__ = (
+        "disk_id",
+        "_engine",
+        "profile",
+        "_policy",
+        "_service_model",
+        "_draw_service",
+        "_rng",
+        "_on_complete",
+        "_state",
+        "stats",
+        "_queue",
+        "_in_service",
+        "_idle_timer",
+        "_service_timer",
+        "_idle_timeout_s",
+        "last_request_time",
+        "_idle_power_w",
+        "_standby_marginal_j",
+        "_marginal_const_by_state",
+        "_marginal_const",
+        "_f_live",
+        "_f_pi",
+        "_f_const",
+        "_f_tlast",
+        "_f_queue",
+        "_health",
+        "_fault_capable",
+        "_fault_epoch",
+        "_spin_up_faults",
+        "_spin_up_rng",
+        "_spin_up_streak",
+        "_on_spin_up_failure",
+        "_on_fault_death",
+    )
 
     def __init__(
         self,
@@ -66,6 +116,9 @@ class SimulatedDisk:
         self.profile = profile
         self._policy = policy or TwoCompetitivePolicy()
         self._service_model = service_model or ConstantServiceModel(0.0)
+        # Bound-method cache: the per-request draw skips two attribute
+        # hops (the model never changes after construction).
+        self._draw_service = self._service_model.service_time
         self._rng = rng or random.Random(disk_id)
         self._on_complete = on_complete
         self._state = initial_state
@@ -103,6 +156,14 @@ class SimulatedDisk:
             DiskPowerState.IDLE: None,  # dynamic: idle extension
         }
         self._marginal_const = self._marginal_const_by_state[initial_state]
+        # Columnar fleet mirror (repro.core.fleet): direct references to
+        # the fleet's columns, armed by attach_fleet(). On the python
+        # kernel _f_live stays False and each hook costs one flag test.
+        self._f_live = False
+        self._f_pi: "array[float]" = _NO_FLEET_COLUMN
+        self._f_const: "array[float]" = _NO_FLEET_COLUMN
+        self._f_tlast: "array[float]" = _NO_FLEET_COLUMN
+        self._f_queue: "array[float]" = _NO_FLEET_COLUMN
         # Fault-injection hooks; inert until enable_fault_injection().
         self._health = DiskHealth.HEALTHY
         self._fault_capable = False
@@ -150,6 +211,43 @@ class SimulatedDisk:
             )
         return extension * self._idle_power_w
 
+    def attach_fleet(self, fleet: "FleetCostState") -> None:
+        """Mirror this disk's scheduling state into ``fleet``'s columns.
+
+        The disk writes its slot (indexed by ``disk_id``) on every
+        state transition, submit, completion and crash-stop from then
+        on; the current state is written immediately so the mirror is
+        consistent from the moment of attachment.
+        """
+        if not 0 <= self.disk_id < fleet.num_disks:
+            raise SimulationError(
+                f"disk id {self.disk_id} outside fleet of {fleet.num_disks}"
+            )
+        self._f_pi = fleet.pi
+        self._f_const = fleet.const
+        self._f_tlast = fleet.tlast
+        self._f_queue = fleet.queue
+        self._f_live = True
+        i = self.disk_id
+        self._f_tlast[i] = (
+            self.last_request_time if self.last_request_time is not None else 0.0
+        )
+        self._f_queue[i] = float(self.queue_length)
+        self._write_fleet_energy()
+
+    def _write_fleet_energy(self) -> None:
+        """Refresh this disk's Eq. 5 encoding in the fleet columns."""
+        i = self.disk_id
+        const = self._marginal_const
+        if const is None:  # IDLE: energy grows with the idle extension
+            self._f_pi[i] = (
+                self._idle_power_w if self.last_request_time is not None else 0.0
+            )
+            self._f_const[i] = 0.0
+        else:
+            self._f_pi[i] = 0.0
+            self._f_const[i] = const
+
     @property
     def health(self) -> DiskHealth:
         """Availability of this disk, orthogonal to its power state."""
@@ -168,22 +266,89 @@ class SimulatedDisk:
                 storage layer pre-filters such disks, so this is a
                 defensive guard against direct misuse.
         """
-        if self._health is not DiskHealth.HEALTHY:
+        if self._health is not _HEALTHY:
             raise ReplicaUnavailableError(
                 f"disk {self.disk_id} is {self._health.value}; cannot accept "
                 f"request {request.request_id}"
             )
-        now = self._engine.now
+        engine = self._engine
+        now = engine._now
         self.last_request_time = now
-        self._queue.append(request)
-        if self._state is DiskPowerState.STANDBY:
-            self._start_spin_up()
-        elif self._state is DiskPowerState.IDLE:
-            self._cancel_idle_timer()
-            self._start_service()
-        # ACTIVE: queued behind the in-flight request.
-        # SPIN_UP: serviced when the spin-up completes.
-        # SPIN_DOWN: serviced after spin-down completes + full spin-up.
+        if self._f_live:
+            i = self.disk_id
+            self._f_tlast[i] = now
+            self._f_queue[i] += 1.0
+        state = self._state
+        if state is not _IDLE:
+            self._queue.append(request)
+            if state is _STANDBY:
+                self._start_spin_up()
+            # ACTIVE: queued behind the in-flight request.
+            # SPIN_UP: serviced when the spin-up completes.
+            # SPIN_DOWN: serviced after spin-down completes + full spin-up.
+            return
+        # Fused IDLE -> ACTIVE arrival (the hot path): inlines
+        # _cancel_idle_timer, the service draw, _transition(ACTIVE) and
+        # the first _service_loop iteration. Byte-identical bookkeeping:
+        # the queue was empty, so the general path's append/popleft pair
+        # cancels and the request goes straight into service; the service
+        # draw moves ahead of the ledger update, which consumes the
+        # per-disk RNG in the identical order (nothing draws in between).
+        timer = self._idle_timer
+        if timer is not None and timer._deadline is not None:
+            timer._deadline = None
+            if timer._entry_time is not None:
+                engine._note_cancel()
+        duration = self._draw_service(request, self._rng)
+        if duration < 0:
+            raise SimulationError("service model returned negative duration")
+        stats = self.stats
+        stats.state_time[_IDLE] += now - stats._state_since
+        if stats.transitions is not None:
+            stats.transitions.append((now, _ACTIVE))
+        stats._current_state = _ACTIVE
+        stats._state_since = now
+        self._state = _ACTIVE
+        self._marginal_const = 0.0
+        if self._f_live:
+            # IDLE already encoded const = 0.0; only pi changes.
+            self._f_pi[self.disk_id] = 0.0
+        self._in_service = request
+        if duration > 0:
+            if self._fault_capable:
+                self._schedule_after(duration, self._on_service_complete)
+                return
+            service_timer = self._service_timer
+            if service_timer is None:
+                service_timer = self._service_timer = engine.timer(
+                    self._on_service_complete
+                )
+            time = now + duration
+            if service_timer._entry_time is None:
+                # Inline ReusableTimer.schedule_at, fresh-arm branch: the
+                # service timer's entry is always consumed before re-arm.
+                service_timer._deadline = time
+                service_timer._entry_time = time
+                heappush(
+                    engine._queue,
+                    (
+                        time,
+                        next(engine._sequence),
+                        service_timer,
+                        service_timer._generation,
+                    ),
+                )
+            else:
+                service_timer.schedule_at(time)
+            return
+        # Zero-duration service (analysis configs): complete inline and
+        # return to IDLE exactly as the general _service_loop tail does.
+        self._complete_current()
+        if self._queue:
+            self._service_loop()
+        else:
+            self._transition(DiskPowerState.IDLE)
+            self._arm_idle_timer()
 
     def finalize(self) -> None:
         """Close the stats ledger at simulation end."""
@@ -238,6 +403,8 @@ class SimulatedDisk:
             self._in_service = None
         drained.extend(self._queue)
         self._queue.clear()
+        if self._f_live:
+            self._f_queue[self.disk_id] = 0.0
         if self._state is not DiskPowerState.STANDBY:
             self._transition(DiskPowerState.STANDBY)
         return drained
@@ -280,6 +447,8 @@ class SimulatedDisk:
         self.stats.transition(new_state, self._engine.now)
         self._state = new_state
         self._marginal_const = self._marginal_const_by_state[new_state]
+        if self._f_live:
+            self._write_fleet_energy()
 
     def _start_spin_up(self) -> None:
         self._transition(DiskPowerState.SPIN_UP)
@@ -337,7 +506,7 @@ class SimulatedDisk:
         """
         while True:
             self._in_service = self._queue.popleft()
-            duration = self._service_model.service_time(self._in_service, self._rng)
+            duration = self._draw_service(self._in_service, self._rng)
             if duration < 0:
                 raise SimulationError("service model returned negative duration")
             if duration > 0:
@@ -345,13 +514,25 @@ class SimulatedDisk:
                     # Fault runs need the epoch guard (a completion from
                     # before a crash-stop must not fire after it).
                     self._schedule_after(duration, self._on_service_complete)
+                    return
+                engine = self._engine
+                timer = self._service_timer
+                if timer is None:
+                    timer = self._service_timer = engine.timer(
+                        self._on_service_complete
+                    )
+                time = engine._now + duration
+                if timer._entry_time is None:
+                    # Inline ReusableTimer.schedule_at, fresh-arm branch
+                    # (the entry is always consumed before a re-arm).
+                    timer._deadline = time
+                    timer._entry_time = time
+                    heappush(
+                        engine._queue,
+                        (time, next(engine._sequence), timer, timer._generation),
+                    )
                 else:
-                    timer = self._service_timer
-                    if timer is None:
-                        timer = self._service_timer = self._engine.timer(
-                            self._on_service_complete
-                        )
-                    timer.schedule_after(duration)
+                    timer.schedule_at(time)
                 return
             self._complete_current()
             if not self._queue:
@@ -360,18 +541,68 @@ class SimulatedDisk:
                 return
 
     def _on_service_complete(self) -> None:
-        self._complete_current()
+        # Fused completion (the hot path): inlines _complete_current, the
+        # queue-drained _transition(IDLE) and the ledger update —
+        # byte-identical bookkeeping to the helpers it mirrors.
+        request = self._in_service
+        if request is None:
+            raise SimulationError("service completion with no request in flight")
+        self._in_service = None
+        if self._f_live:
+            self._f_queue[self.disk_id] -= 1.0
+        stats = self.stats
+        stats.requests_serviced += 1
+        if self._on_complete is not None:
+            self._on_complete(request, self.disk_id, self._engine._now)
         if self._queue:
             self._service_loop()
-        else:
-            self._transition(DiskPowerState.IDLE)
-            self._arm_idle_timer()
+            return
+        now = self._engine._now
+        stats.state_time[_ACTIVE] += now - stats._state_since
+        if stats.transitions is not None:
+            stats.transitions.append((now, _IDLE))
+        stats._current_state = _IDLE
+        stats._state_since = now
+        self._state = _IDLE
+        self._marginal_const = None
+        if self._f_live:
+            # ACTIVE already encoded const = 0.0, and last_request_time
+            # is non-None here (set when this request was submitted) —
+            # only pi changes.
+            self._f_pi[self.disk_id] = self._idle_power_w
+        timeout = self._idle_timeout_s
+        if timeout is not None:
+            engine = self._engine
+            timer = self._idle_timer
+            if timer is None:
+                timer = self._idle_timer = engine.timer(self._on_idle_timeout)
+            time = now + timeout
+            entry_time = timer._entry_time
+            if entry_time is not None and entry_time <= time:
+                # Inline ReusableTimer.schedule_at, in-place re-arm: the
+                # cancelled entry fires no later than the new deadline
+                # and migrates itself forward when popped.
+                if timer._deadline is None:
+                    engine._cancelled_pending -= 1
+                timer._deadline = time
+            elif entry_time is None:
+                # Fresh arm (first drain, or the entry was consumed).
+                timer._deadline = time
+                timer._entry_time = time
+                heappush(
+                    engine._queue,
+                    (time, next(engine._sequence), timer, timer._generation),
+                )
+            else:
+                timer.schedule_at(time)
 
     def _complete_current(self) -> None:
         request = self._in_service
         if request is None:
             raise SimulationError("service completion with no request in flight")
         self._in_service = None
+        if self._f_live:
+            self._f_queue[self.disk_id] -= 1.0
         self.stats.note_request_serviced()
         if self._on_complete is not None:
             self._on_complete(request, self.disk_id, self._engine.now)

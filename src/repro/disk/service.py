@@ -11,6 +11,7 @@ examples use.
 
 from __future__ import annotations
 
+import math
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -56,18 +57,48 @@ class AnalyticServiceModel(ServiceTimeModel):
 
     def __init__(self, geometry: DiskGeometry = CHEETAH_15K5_GEOMETRY):
         self._geometry = geometry
+        # Inlined randrange: CPython's Random.randrange(n) reduces to a
+        # getrandbits(k) rejection loop (_randbelow_with_getrandbits).
+        # Drawing through getrandbits directly consumes the identical
+        # bit stream — same draws, same rejections — at roughly half the
+        # per-call cost, which matters on the one-draw-per-request path.
+        self._cylinders = geometry.cylinders
+        self._cylinder_bits = geometry.cylinders.bit_length()
+        # The rest of the decomposition is fixed arithmetic over the
+        # geometry; resolve every term once so service_time() is pure
+        # local-variable math. Each cached value is computed by the same
+        # expression the DiskGeometry methods use, so the per-request
+        # results are bit-identical to calling them.
+        self._seek_denominator = geometry.cylinders - 1
+        self._track_to_track_seek = geometry.track_to_track_seek
+        self._seek_span = geometry.full_stroke_seek - geometry.track_to_track_seek
+        self._full_stroke_seek = geometry.full_stroke_seek
+        self._rotation_time = geometry.rotation_time
+        self._max_transfer_rate = geometry.max_transfer_rate
+        self._controller_overhead = geometry.controller_overhead
 
     @property
     def geometry(self) -> DiskGeometry:
         return self._geometry
 
     def service_time(self, request: Request, rng: random.Random) -> float:
-        geometry = self._geometry
-        seek_distance = rng.randrange(geometry.cylinders)
-        seek = geometry.seek_time(seek_distance)
-        rotation = rng.random() * geometry.rotation_time
-        transfer = geometry.transfer_time(request.size_bytes)
-        return seek + rotation + transfer + geometry.controller_overhead
+        cylinders = self._cylinders
+        bits = self._cylinder_bits
+        seek_distance = rng.getrandbits(bits)
+        while seek_distance >= cylinders:
+            seek_distance = rng.getrandbits(bits)
+        # Inlined DiskGeometry.seek_time / transfer_time (the rejection
+        # loop already guarantees 0 <= distance < cylinders, so only the
+        # zero-distance branch of the seek curve remains).
+        if seek_distance:
+            seek = self._track_to_track_seek + self._seek_span * math.sqrt(
+                seek_distance / self._seek_denominator
+            )
+        else:
+            seek = 0.0
+        rotation = rng.random() * self._rotation_time
+        transfer = request.size_bytes / self._max_transfer_rate
+        return seek + rotation + transfer + self._controller_overhead
 
     def expected_service_time(self, size_bytes: int) -> float:
         """Closed-form expected service seconds, handy for utilisation

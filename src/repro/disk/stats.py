@@ -16,7 +16,7 @@ from repro.power.profile import DiskPowerProfile
 from repro.power.states import DiskPowerState
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskStats:
     """Time/energy ledger of one simulated disk.
 

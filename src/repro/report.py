@@ -22,11 +22,25 @@ from repro.types import DiskId, Request, RequestId
 
 
 class MetricsCollector:
-    """Accumulates per-request completions (and losses) during a simulation."""
+    """Accumulates per-request completions (and losses) during a simulation.
+
+    The completion callback runs once per serviced request on the
+    simulation hot path, so it does the minimum: one tuple append into a
+    completion log. Response times and the per-request completion map
+    are derived views built on access (each consumed at most once per
+    run, by the report builder and by tests respectively).
+    """
+
+    __slots__ = ("_log", "_completions_map", "_completions_len", "_lost")
 
     def __init__(self) -> None:
-        self._response_times: List[float] = []
-        self._completions: Dict[RequestId, Tuple[DiskId, float]] = {}
+        # (request_id, disk_id, completion time, response time) per
+        # completion, in completion order.
+        self._log: List[Tuple[RequestId, DiskId, float, float]] = []
+        self._completions_map: Optional[
+            Dict[RequestId, Tuple[DiskId, float]]
+        ] = None
+        self._completions_len = 0
         self._lost: List[RequestId] = []
 
     def on_complete(self, request: Request, disk_id: DiskId, now: float) -> None:
@@ -36,17 +50,16 @@ class MetricsCollector:
             raise SimulationError(
                 f"request {request.request_id} completed before it arrived"
             )
-        self._response_times.append(response)
-        self._completions[request.request_id] = (disk_id, now)
+        self._log.append((request.request_id, disk_id, now, response))
 
     @property
     def response_times(self) -> List[float]:
         """Per-request response times in seconds, completion order."""
-        return list(self._response_times)
+        return [entry[3] for entry in self._log]
 
     @property
     def completed(self) -> int:
-        return len(self._response_times)
+        return len(self._log)
 
     def on_lost(self, request: Request, now: float) -> None:
         """Record a request whose every replica is dead (never raised)."""
@@ -66,13 +79,25 @@ class MetricsCollector:
         """Ids of the lost requests, in loss order."""
         return list(self._lost)
 
+    def _completions(self) -> Dict[RequestId, Tuple[DiskId, float]]:
+        """Lazy ``request_id -> (disk, time)`` view over the log."""
+        if (
+            self._completions_map is None
+            or self._completions_len != len(self._log)
+        ):
+            self._completions_map = {
+                entry[0]: (entry[1], entry[2]) for entry in self._log
+            }
+            self._completions_len = len(self._log)
+        return self._completions_map
+
     def completion_of(self, request_id: RequestId) -> Tuple[DiskId, float]:
         """(disk, completion time) of a finished request."""
-        return self._completions[request_id]
+        return self._completions()[request_id]
 
     def disk_of(self, request_id: RequestId) -> DiskId:
         """The disk that serviced a finished request."""
-        return self._completions[request_id][0]
+        return self._completions()[request_id][0]
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:

@@ -24,11 +24,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple, Union
+from math import inf
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
 
 EventCallback = Callable[[], None]
+
+#: Bulk-arrival stream accepted by :meth:`SimulationEngine.run`:
+#: ``(times, payloads, callback)`` with ``times`` sorted ascending and
+#: ``callback(payload)`` fired once per entry at its timestamp.
+ArrivalStream = Tuple[Sequence[float], Sequence[Any], Callable[[Any], None]]
 
 #: One heap entry: ``(time, sequence, handle, payload)``. For plain and
 #: posted events the payload is the callback; for timer entries it is the
@@ -41,6 +47,11 @@ _QueueEntry = Tuple[float, int, Union["EventHandle", "ReusableTimer", None], Any
 DEFAULT_COMPACTION_THRESHOLD = 0.5
 #: Heaps smaller than this are never compacted (not worth the sweep).
 DEFAULT_COMPACTION_MIN_SIZE = 64
+
+
+def _no_arrival_stream(payload: Any) -> None:
+    """Placeholder arrival callback; unreachable (arrival_count stays 0)."""
+    raise SimulationError("arrival fired without an arrival stream")
 
 
 class EventHandle:
@@ -177,6 +188,18 @@ class SimulationEngine:
         engine.run()
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_sequence",
+        "_events_processed",
+        "_running",
+        "_cancelled_pending",
+        "_compaction_threshold",
+        "_compaction_min_size",
+        "_compactions",
+    )
+
     def __init__(
         self,
         start_time: float = 0.0,
@@ -284,9 +307,12 @@ class SimulationEngine:
         return True
 
     def run(
-        self, until: Optional[float] = None, max_events: Optional[int] = None
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        arrivals: Optional[ArrivalStream] = None,
     ) -> None:
-        """Drain the event queue.
+        """Drain the event queue (and an optional bulk-arrival stream).
 
         Args:
             until: Stop once the next event would be strictly after this
@@ -295,6 +321,17 @@ class SimulationEngine:
                 budget is checked *before* each event: exactly
                 ``max_events`` events run, then the engine raises without
                 processing the ``max_events + 1``-th.
+            arrivals: A ``(times, payloads, callback)`` stream of
+                pre-sorted, uncancellable events merged with the heap.
+                Equivalent to :meth:`post`-ing every entry before the run
+                — at equal timestamps the stream fires first, exactly as
+                preloaded events (with their earlier sequence numbers)
+                would — but the entries never touch the heap, so bulk
+                trace arrivals stop paying ``O(log n)`` push/pop each and
+                stop inflating every other event's heap operations. The
+                stream is consumed only up to ``until``; entries after the
+                cutoff are dropped, so callers replaying a trace should
+                pass a horizon at or after the last arrival.
         """
         if self._running:
             raise SimulationError("engine.run() is not re-entrant")
@@ -305,22 +342,97 @@ class SimulationEngine:
         # popped straight into its callback with no helper calls.
         queue = self._queue
         heappop = heapq.heappop
+        arrival_times: Sequence[float] = ()
+        arrival_payloads: Sequence[Any] = ()
+        arrival_callback: Callable[[Any], None] = _no_arrival_stream
+        arrival_index = 0
+        arrival_count = 0
+        if arrivals is not None:
+            arrival_times, arrival_payloads, arrival_callback = arrivals
+            arrival_count = len(arrival_times)
+            if len(arrival_payloads) != arrival_count:
+                raise SimulationError(
+                    "arrival stream times and payloads differ in length"
+                )
+            if arrival_count and arrival_times[0] < self._now:
+                raise SimulationError(
+                    f"cannot stream event at {arrival_times[0]} before "
+                    f"now={self._now}"
+                )
+        # Per-event bound checks reduce to bare float compares: +inf
+        # stands in for "no horizon" / "no budget".
+        horizon = inf if until is None else until
+        event_budget = inf if max_events is None else max_events
         try:
             processed = 0
-            while queue:
+            while True:
+                while arrival_index < arrival_count:
+                    # A dead heap head only *underestimates* the next
+                    # live event time, so firing the arrival when it is
+                    # <= that bound is always order-correct — and skips
+                    # normalising the head on the overwhelmingly common
+                    # trace-replay iteration.
+                    time = arrival_times[arrival_index]
+                    if queue and time > queue[0][0]:
+                        break  # a heap event (or dead bound) comes first
+                    if time > horizon:
+                        arrival_index = arrival_count  # past the horizon
+                        break
+                    if processed >= event_budget:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "runaway event loop?"
+                        )
+                    payload = arrival_payloads[arrival_index]
+                    arrival_index += 1
+                    self._now = time
+                    self._events_processed += 1
+                    try:
+                        arrival_callback(payload)
+                    except SimulationError:
+                        raise
+                    except Exception as exc:
+                        raise SimulationError(
+                            f"event callback {arrival_callback!r} failed "
+                            f"at t={time:.6g}s "
+                            f"(event #{self._events_processed}): {exc}"
+                        ) from exc
+                    processed += 1
+                if not queue:
+                    break
                 head = queue[0]
                 handle = head[2]
-                if handle is not None and (
-                    type(handle) is not EventHandle or handle._cancelled
+                if (
+                    handle is not None
+                    and (type(handle) is not EventHandle or handle._cancelled)
+                    and not (
+                        # Live ReusableTimer firing at its in-heap entry
+                        # time (the overwhelmingly common timer case) —
+                        # dispatch straight from the fast path below.
+                        type(handle) is ReusableTimer
+                        # Identity check against the heap-stored copy of
+                        # the same float, not a tolerance comparison.
+                        and handle._deadline == head[0]  # reprolint: disable=RPL001
+                        and head[3] == handle._generation
+                    )
                 ):
                     head = self._fix_head()  # slow path: dead entry / timer
+                    if arrival_index < arrival_count and (
+                        head is None
+                        or arrival_times[arrival_index] <= head[0]
+                    ):
+                        # The dead bound that deferred the arrival was an
+                        # *under*estimate; against the exact live head
+                        # time (or drained queue) the arrival fires
+                        # first after all. Re-run the merge.
+                        continue
                     if head is None:
                         break
                     handle = head[2]
                 time = head[0]
-                if until is not None and time > until:
+                if time > horizon:
                     break
-                if max_events is not None and processed >= max_events:
+                if processed >= event_budget:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway event loop?"
                     )

@@ -11,13 +11,22 @@ observe — ``now``, per-disk state/queue/Tlast, and placement lookups.
 
 from __future__ import annotations
 
+import gc
 import math
+import operator
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.fleet import SMALL_CANDIDATE_CUTOFF, FleetCostState
+from repro.core.heuristic import HeuristicScheduler
 from repro.core.scheduler import BatchScheduler, OnlineScheduler, Scheduler
 from repro.disk.drive import SimulatedDisk
-from repro.errors import PlacementError, SchedulingError, SimulationError
+from repro.errors import (
+    PlacementError,
+    ReplicaUnavailableError,
+    SchedulingError,
+    SimulationError,
+)
 from repro.faults.health import DiskHealth
 from repro.faults.injector import FaultInjector
 from repro.placement.catalog import PlacementCatalog
@@ -26,6 +35,9 @@ from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.report import MetricsCollector, SimulationReport
 from repro.types import DataId, DiskId, OpKind, Request, RequestId
+
+#: Request's dataclass compare-fields, as a sort key (see run()).
+_REQUEST_ORDER = operator.attrgetter("time", "request_id")
 
 #: First failover-retry delay in seconds; doubles on every further attempt.
 RETRY_BASE_S = 0.5
@@ -75,6 +87,16 @@ class StorageSystem:
             )
             for disk_id in range(config.num_disks)
         }
+        #: Columnar cost kernel (``view.fleet``): schedulers score
+        #: through it when attached; ``None`` selects the pure-Python
+        #: reference path. Both kernels are byte-identical by contract.
+        self.fleet: Optional[FleetCostState] = None
+        if config.kernel == "numpy":
+            self.fleet = FleetCostState(
+                config.num_disks, config.profile, config.initial_state
+            )
+            for disk in self._disks.values():
+                disk.attach_fleet(self.fleet)
         self._batch_buffer: List[Request] = []
         self._tick_scheduled = False
         self._offered = 0
@@ -142,17 +164,41 @@ class StorageSystem:
         if self._ran:
             raise SimulationError("StorageSystem instances are single-use")
         self._ran = True
-        ordered = sorted(requests)
+        # Same order as sorted(requests): Request's dataclass ordering
+        # compares exactly its (time, request_id) compare-fields, and
+        # sorted() is stable either way — the key form just skips one
+        # tuple-building __lt__ call per comparison.
+        ordered = sorted(requests, key=_REQUEST_ORDER)
         self._offered = len(ordered)
-        for request in ordered:
-            # Arrivals are never cancelled: post() skips the per-event
-            # EventHandle allocation for the whole preloaded trace.
-            self._engine.post(request.time, _Arrival(self, request))
         last_arrival = ordered[-1].time if ordered else 0.0
         horizon = self._config.derived_horizon(last_arrival)
         if self._faults is not None:
             self._faults.install(horizon)
-        self._engine.run(until=horizon)
+        # Arrivals stream straight through the engine's merge loop: they
+        # never touch the heap, so the trace stops paying O(log n) per
+        # event and every runtime event's heap ops shrink. Ordering is
+        # identical to post()-ing each one up front (preloaded events
+        # carry the earliest sequence numbers, so at equal timestamps
+        # they fired before any runtime event — the stream-first merge
+        # rule reproduces exactly that).
+        # The event loop allocates only short-lived, acyclic objects, so
+        # the cyclic collector can only cost time here; pause it for the
+        # drain (restored even on error — callers keep their setting).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._engine.run(
+                until=horizon,
+                arrivals=(
+                    [request.time for request in ordered],
+                    ordered,
+                    self._arrival_callback(),
+                ),
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         for disk in self._disks.values():
             disk.finalize()
         availability = None
@@ -179,6 +225,123 @@ class StorageSystem:
         )
 
     # -- internal event handlers ------------------------------------------
+
+    def _arrival_callback(self) -> Callable[[Request], None]:
+        """The per-arrival handler for this run's configuration.
+
+        The general path (:meth:`_on_arrival`) re-checks cache, faults
+        and scheduler kind on every arrival even though all three are
+        fixed for the whole run. Configurations that skip those branches
+        get a fused closure — semantically identical, minus the
+        per-arrival re-dispatch:
+
+        * no cache + no faults + online scheduler: choose + submit with
+          the scheduler-output invariant checks kept;
+        * additionally Heuristic + the columnar kernel: the closure
+          gathers placement and scores through the fleet directly — the
+          chosen disk is one of the request's replicas by construction,
+          so the read-placement re-check is redundant.
+        """
+        if (
+            self.cache is not None
+            or self._faults is not None
+            or self._online_scheduler is None
+        ):
+            return self._on_arrival
+        scheduler = self._online_scheduler
+        locations_by_data = self._locations_by_data
+        disks = self._disks
+        engine = self._engine
+        if isinstance(scheduler, HeuristicScheduler) and self.fleet is not None:
+            fleet = self.fleet
+            fleet_choose = fleet.choose
+            cost_function = scheduler.cost_function
+            alpha = cost_function.alpha
+            beta = cost_function.beta
+            load_weight = cost_function.load_weight
+            # The replication factor is far below the kernel's cutoff, so
+            # every arrival takes FleetCostState.choose's scalar-gather
+            # branch — inline it over the captured columns (same
+            # arithmetic, same unrolled tie-break) and keep the method
+            # call for the general case.
+            pi = fleet.pi
+            const = fleet.const
+            tlast = fleet.tlast
+            queue = fleet.queue
+            cutoff = SMALL_CANDIDATE_CUTOFF
+            # Disk ids are dense (range(num_disks)), so a list of bound
+            # submit methods replaces the dict hash + attribute lookup
+            # on the hand-off.
+            submit_by_disk = [
+                disks[disk_id].submit for disk_id in range(len(disks))
+            ]
+
+            def heuristic_arrival(request: Request) -> None:
+                try:
+                    locations = locations_by_data[request.data_id]
+                except KeyError:
+                    raise PlacementError(f"unknown data id {request.data_id}")
+                if not locations:
+                    raise ReplicaUnavailableError(
+                        f"no live replica for data {request.data_id}"
+                    )
+                now = engine._now
+                if len(locations) < cutoff:
+                    best_disk = -1
+                    best_cost = 0.0
+                    best_queue = 0.0
+                    for disk_id in locations:
+                        energy = (
+                            (now - tlast[disk_id]) * pi[disk_id] + const[disk_id]
+                        )
+                        queue_length = queue[disk_id]
+                        cost = (
+                            energy * alpha / beta + queue_length * load_weight
+                        )
+                        if (
+                            best_disk < 0
+                            or cost < best_cost
+                            or (
+                                cost == best_cost
+                                and (
+                                    queue_length < best_queue
+                                    or (
+                                        queue_length == best_queue
+                                        and disk_id < best_disk
+                                    )
+                                )
+                            )
+                        ):
+                            best_cost = cost
+                            best_queue = queue_length
+                            best_disk = disk_id
+                else:
+                    best_disk = fleet_choose(
+                        locations, now, alpha, beta, load_weight
+                    )
+                submit_by_disk[best_disk](request)
+
+            return heuristic_arrival
+        choose = scheduler.choose
+
+        def online_arrival(request: Request) -> None:
+            disk_id = choose(request, self)
+            if (
+                request.op is OpKind.READ
+                and disk_id not in locations_by_data.get(request.data_id, ())
+            ):
+                raise SchedulingError(
+                    f"scheduler sent request {request.request_id} to disk "
+                    f"{disk_id}, which does not hold data {request.data_id}"
+                )
+            try:
+                disks[disk_id].submit(request)
+            except KeyError:
+                raise SchedulingError(
+                    f"scheduler chose unknown disk {disk_id}"
+                )
+
+        return online_arrival
 
     def _on_arrival(self, request: Request) -> None:
         if (
@@ -329,19 +492,6 @@ class StorageSystem:
             self._engine.schedule_after(delay, deliver)
         else:
             deliver()
-
-
-class _Arrival:
-    """Arrival-event callback carrying its request (picklable/debuggable)."""
-
-    __slots__ = ("_system", "_request")
-
-    def __init__(self, system: StorageSystem, request: Request):
-        self._system = system
-        self._request = request
-
-    def __call__(self) -> None:
-        self._system._on_arrival(self._request)
 
 
 class _Readmit:

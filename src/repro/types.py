@@ -40,7 +40,7 @@ class OpKind(Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Request:
     """A single read request ``ri`` with disk access time ``ti``.
 

@@ -1,0 +1,178 @@
+"""Hypothesis parity: the columnar kernel vs the scalar reference path.
+
+The ``numpy`` kernel is only admissible because it is *bit-identical* to
+the scalar schedulers: same Eq. 5/Eq. 6 arithmetic (evaluation order
+included), same (cost, queue, disk id) tie-break. These properties pin
+that claim on randomly generated fleets, states and candidate sets —
+both kernel branches (scalar gather and vectorised pass) against the
+pure-Python :class:`~repro.core.heuristic.HeuristicScheduler` loop and
+the reference :func:`~repro.core.cost.energy_cost` evaluation.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostFunction, energy_cost
+from repro.core.fleet import FleetCostState
+from repro.core.heuristic import HeuristicScheduler
+from repro.power.profile import PAPER_EVAL
+from repro.power.states import DiskPowerState
+from repro.types import OpKind, Request
+
+NOW = 100.0
+
+#: Small value pools make cost ties common instead of measure-zero.
+_TLAST_POOL = (None, 0.0, 10.0, 50.0, NOW)
+_QUEUE_POOL = (0, 1, 2, 3)
+_STATES = tuple(DiskPowerState)
+
+
+class FakeDisk:
+    """Protocol-only disk view: forces the scalar energy_cost fallback."""
+
+    def __init__(
+        self,
+        state: DiskPowerState,
+        queue_length: int,
+        last_request_time: Optional[float],
+    ):
+        self.state = state
+        self.queue_length = queue_length
+        self.last_request_time = last_request_time
+
+
+class FakeView:
+    """SystemView without a ``fleet`` attribute: the scalar path."""
+
+    def __init__(
+        self, disks: Dict[int, FakeDisk], locations: Tuple[int, ...]
+    ):
+        self._disks = disks
+        self._locations = locations
+        self.now = NOW
+        self.profile = PAPER_EVAL
+
+    def disk(self, disk_id: int) -> FakeDisk:
+        return self._disks[disk_id]
+
+    def available_locations(self, data_id: int) -> Tuple[int, ...]:
+        return self._locations
+
+
+def _mirror(disks: Dict[int, FakeDisk]) -> FleetCostState:
+    """Encode the fake disks into fleet columns exactly as the drive
+    hooks do (ACTIVE/SPIN_UP zero; STANDBY/SPIN_DOWN memoised wake-up
+    constant; IDLE idle-power slope once ``Tlast`` is recorded)."""
+    fleet = FleetCostState(
+        len(disks), PAPER_EVAL, initial_state=DiskPowerState.IDLE
+    )
+    for disk_id, disk in disks.items():
+        if disk.last_request_time is not None:
+            fleet.tlast[disk_id] = disk.last_request_time
+        if disk.state in (DiskPowerState.STANDBY, DiskPowerState.SPIN_DOWN):
+            fleet.const[disk_id] = fleet.standby_marginal
+        elif (
+            disk.state is DiskPowerState.IDLE
+            and disk.last_request_time is not None
+        ):
+            fleet.pi[disk_id] = fleet.idle_power
+        fleet.queue[disk_id] = float(disk.queue_length)
+    return fleet
+
+
+@st.composite
+def fleet_instances(draw):
+    # Up to 40 disks so candidate sets straddle the scalar/vector
+    # cutoff (32) through the adaptive front door too.
+    num_disks = draw(st.integers(min_value=1, max_value=40))
+    disks = {
+        disk_id: FakeDisk(
+            state=draw(st.sampled_from(_STATES)),
+            queue_length=draw(st.sampled_from(_QUEUE_POOL)),
+            last_request_time=draw(st.sampled_from(_TLAST_POOL)),
+        )
+        for disk_id in range(num_disks)
+    }
+    count = draw(st.integers(min_value=1, max_value=num_disks))
+    candidates = tuple(draw(st.permutations(range(num_disks)))[:count])
+    alpha = draw(
+        st.one_of(
+            st.sampled_from([0.0, 0.2, 1.0]),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    beta = draw(st.floats(min_value=0.01, max_value=1000.0, allow_nan=False))
+    return disks, candidates, CostFunction(alpha=alpha, beta=beta)
+
+
+@settings(max_examples=200, deadline=None)
+@given(fleet_instances())
+def test_choose_parity_including_ties(instance) -> None:
+    """Both kernel branches pick the scalar scheduler's exact disk."""
+    disks, candidates, cost_function = instance
+    view = FakeView(disks, candidates)
+    scheduler = HeuristicScheduler(cost_function)
+    request = Request(
+        request_id=0, time=NOW, data_id=0, size_bytes=1, op=OpKind.READ
+    )
+    expected = scheduler.choose(request, view)
+
+    fleet = _mirror(disks)
+    args = (
+        candidates,
+        NOW,
+        cost_function.alpha,
+        cost_function.beta,
+        cost_function.load_weight,
+    )
+    assert fleet.choose_scalar(*args) == expected
+    assert fleet.choose_vector(*args) == expected
+    assert fleet.choose(*args) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(fleet_instances())
+def test_weights_parity_full_precision(instance) -> None:
+    """Eq. 6 weights match the scalar reference bit for bit."""
+    disks, candidates, cost_function = instance
+    fleet = _mirror(disks)
+    expected: List[float] = []
+    for disk_id in candidates:
+        disk = disks[disk_id]
+        energy = energy_cost(
+            disk.state, disk.last_request_time, NOW, PAPER_EVAL
+        )
+        expected.append(
+            energy * cost_function.alpha / cost_function.beta
+            + disk.queue_length * cost_function.load_weight
+        )
+    args = (
+        candidates,
+        NOW,
+        cost_function.alpha,
+        cost_function.beta,
+        cost_function.load_weight,
+    )
+    assert fleet.weights_scalar(*args) == expected
+    assert fleet.weights_vector(*args) == expected
+    assert fleet.weights(*args) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(fleet_instances())
+def test_energies_parity_full_precision(instance) -> None:
+    """Eq. 5 energies match the reference evaluation bit for bit."""
+    disks, candidates, _ = instance
+    fleet = _mirror(disks)
+    expected = [
+        energy_cost(
+            disks[disk_id].state,
+            disks[disk_id].last_request_time,
+            NOW,
+            PAPER_EVAL,
+        )
+        for disk_id in candidates
+    ]
+    assert fleet.energies(candidates, NOW) == expected

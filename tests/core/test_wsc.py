@@ -142,3 +142,30 @@ class TestBatchBehaviour:
 
     def test_name_mentions_interval(self):
         assert "0.1" in WSCBatchScheduler().name
+
+
+class TestPlacementLookupCount:
+    def test_available_locations_called_once_per_request(self):
+        """choose_batch resolves each request's placement exactly once.
+
+        Regression test for the double lookup (once building coverage,
+        again when routing) — the routing loop must reuse the tuples
+        gathered in the coverage pass.
+        """
+        catalog = PlacementCatalog(
+            {0: [0], 1: [0, 1], 2: [0, 1, 3], 3: [2, 3], 4: [0, 3], 5: [2, 3]}
+        )
+        view = standby_view(catalog, 4)
+        calls = []
+        inner = view.available_locations
+
+        def counting(data_id):
+            calls.append(data_id)
+            return inner(data_id)
+
+        view.available_locations = counting
+        requests = [
+            Request(time=0.0, request_id=i, data_id=i) for i in range(6)
+        ]
+        WSCBatchScheduler().choose_batch(requests, view)
+        assert sorted(calls) == [r.data_id for r in requests]

@@ -31,12 +31,17 @@ def test_quick_suite_emits_a_schema_valid_document(quick_payload):
 
 def test_suite_records_every_microbench(quick_payload):
     micro = quick_payload["result"]["microbench"]
-    assert set(micro) == {
+    expected = {
         "engine_dispatch",
         "timer_churn",
         "scheduler_choose",
         "storage_dispatch",
     }
+    for size in (10, 180, 1000):
+        expected.add(f"kernel_choose_python_{size}")
+        expected.add(f"kernel_choose_numpy_{size}")
+    expected.update({"wsc_weight_pass_python_180", "wsc_weight_pass_numpy_180"})
+    assert set(micro) == expected
     for measurement in micro.values():
         assert measurement["iterations"] > 0
         assert measurement["rate_per_s"] > 0

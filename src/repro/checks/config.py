@@ -139,7 +139,12 @@ DEFAULT_HOT_PATH_PARTS: Tuple[str, ...] = ("repro/sim", "repro/core")
 
 #: Module-name prefixes rooting the determinism scope (RPL101/RPL102): the
 #: packages whose dispatch paths must be byte-identically replayable.
-DEFAULT_DETERMINISM_SCOPE: Tuple[str, ...] = ("repro.sim", "repro.core", "repro.serve")
+DEFAULT_DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.core",
+    "repro.serve",
+    "repro.tape",
+)
 
 #: Canonical dotted names of calls that read the wall clock (RPL101).
 #: Matched after import-alias expansion, so ``from time import time`` and
@@ -256,6 +261,28 @@ DEFAULT_LAYERING_CONTRACTS: Tuple[LayeringContract, ...] = (
             "repro.checks",
         ),
         reason="the simulation core sits below serving/experiments/tooling",
+    ),
+    LayeringContract(
+        package="repro.disk",
+        forbidden=(
+            "repro.serve",
+            "repro.experiments",
+            "repro.cli",
+            "repro.perf",
+            "repro.checks",
+        ),
+        reason="the disk device model sits below serving/experiments/tooling",
+    ),
+    LayeringContract(
+        package="repro.tape",
+        forbidden=(
+            "repro.serve",
+            "repro.experiments",
+            "repro.cli",
+            "repro.perf",
+            "repro.checks",
+        ),
+        reason="the tape device model sits below serving/experiments/tooling",
     ),
     LayeringContract(
         package="repro.checks",

@@ -115,6 +115,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-disk permanent failures per simulated second "
         "(0 disables fault injection)",
     )
+    simulate.add_argument(
+        "--tier",
+        type=float,
+        default=None,
+        metavar="HOT_FRACTION",
+        help="run the tiered disk/tape system, keeping this fraction of "
+        "data ids (by popularity) on disk and the cold rest on tape; "
+        "tiered runs are uncached and ignore --fault-rate",
+    )
+    simulate.add_argument(
+        "--sequencer",
+        default="nearest",
+        help="LTSP tape sequencer family for --tier runs "
+        "(fifo, nearest, scan, ltsp)",
+    )
+    simulate.add_argument(
+        "--tape-drives",
+        type=int,
+        default=1,
+        help="tape drives in the cold tier for --tier runs",
+    )
+    simulate.add_argument(
+        "--tape-profile",
+        default="lto-gen8",
+        help="tape power-profile name for --tier runs",
+    )
     _add_kernel_argument(simulate)
 
     compare = sub.add_parser("compare", help="compare all schedulers")
@@ -141,7 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="a figure id (fig5..fig17), 'headline', 'fault_sweep', an "
-        "ablation_* id, 'all', or 'list' (omit with --validate)",
+        "ablation_* id, 'serve_sweep', 'serve_scale', 'tape_tier', 'all', "
+        "or 'list' — 'list' prints them grouped by family (omit with "
+        "--validate)",
     )
     bench.add_argument("--scale", type=float, default=None)
     bench.add_argument("--mwis-scale", type=float, default=None)
@@ -387,8 +415,33 @@ def _run_bench(args: argparse.Namespace) -> int:
         )
         return 2
     if args.bench_id == "list":
-        for bench_id, definition in bench_mod.BENCHES.items():
-            print(f"{bench_id:26s} {definition.description}")
+        for family_index, family in enumerate(bench_mod.BENCH_FAMILIES):
+            members = [
+                definition
+                for definition in bench_mod.BENCHES.values()
+                if definition.family == family
+            ]
+            if not members:
+                continue
+            if family_index:
+                print()
+            print(f"{family}:")
+            for definition in members:
+                print(
+                    f"  {definition.bench_id:24s} {definition.description}"
+                )
+        orphans = [
+            definition
+            for definition in bench_mod.BENCHES.values()
+            if definition.family not in bench_mod.BENCH_FAMILIES
+        ]
+        if orphans:
+            print()
+            print("other:")
+            for definition in orphans:
+                print(
+                    f"  {definition.bench_id:24s} {definition.description}"
+                )
         return 0
 
     cache = RunCache(enabled=False) if args.no_cache else None
@@ -634,6 +687,8 @@ def _run_serve_sharded(
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
+    if args.tier is not None:
+        return _run_simulate_tiered(args)
     result = common.run_cell(
         args.trace,
         args.replication,
@@ -645,6 +700,33 @@ def _run_simulate(args: argparse.Namespace) -> int:
     )
     print(result.report.summary())
     print(f"normalized energy    : {result.normalized_energy:.3f} (vs always-on)")
+    return 0
+
+
+def _run_simulate_tiered(args: argparse.Namespace) -> int:
+    """One tiered (disk + tape) run: live, uncached, deterministic."""
+    # Imported lazily: only --tier runs need the tape subsystem.
+    from dataclasses import replace
+
+    from repro.sim.runner import simulate as run_simulation
+    from repro.tape.config import TierConfig
+    from repro.tape.profile import get_tape_profile
+
+    requests, catalog, num_disks = common.get_binding(
+        args.trace, args.replication, zipf_exponent=args.zipf
+    )
+    scheduler = common.make_scheduler_for_key(
+        args.scheduler, alpha=args.alpha, beta=args.beta
+    )
+    tier = TierConfig(
+        hot_fraction=args.tier,
+        num_tape_drives=args.tape_drives,
+        sequencer=args.sequencer,
+        tape_profile=get_tape_profile(args.tape_profile),
+    )
+    config = replace(common.make_config(num_disks), tier=tier)
+    report = run_simulation(requests, catalog, scheduler, config)
+    print(report.summary())
     return 0
 
 

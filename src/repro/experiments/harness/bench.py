@@ -69,6 +69,10 @@ _SpecsFn = Callable[[float, float, int], List[RunSpec]]
 _ResultFn = Callable[[Optional[float]], Tuple[Dict[str, Any], int]]
 
 
+#: Bench families, in the display order of ``repro-storage bench list``.
+BENCH_FAMILIES = ("figures", "ablations", "serve", "tape")
+
+
 @dataclass(frozen=True)
 class BenchDefinition:
     """One runnable bench: its sweep specs and its result builder."""
@@ -77,6 +81,7 @@ class BenchDefinition:
     description: str
     specs: _SpecsFn
     result: _ResultFn
+    family: str = "figures"
 
 
 def _cell(
@@ -322,13 +327,28 @@ def _serve_scale_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
     return _ablation_result_payload(result), result.events_processed
 
 
+def _tape_tier_result(scale: Optional[float]) -> Tuple[Dict[str, Any], int]:
+    # Tiered cells run live (the tier axis is not part of the run-cache
+    # key space); their engine events are the bench's event count.
+    from repro.experiments.tape_tier import run_tape_tier
+
+    result = run_tape_tier(scale)
+    return _ablation_result_payload(result), result.events_processed
+
+
 def _build_registry() -> Dict[str, BenchDefinition]:
     registry: Dict[str, BenchDefinition] = {}
 
     def add(
-        bench_id: str, description: str, specs: _SpecsFn, result: _ResultFn
+        bench_id: str,
+        description: str,
+        specs: _SpecsFn,
+        result: _ResultFn,
+        family: str = "figures",
     ) -> None:
-        registry[bench_id] = BenchDefinition(bench_id, description, specs, result)
+        registry[bench_id] = BenchDefinition(
+            bench_id, description, specs, result, family
+        )
 
     add("fig5", "power configuration table", _no_specs, _figure_result("fig5"))
     add(
@@ -388,18 +408,28 @@ def _build_registry() -> Dict[str, BenchDefinition]:
         "availability vs failure rate (cello, rf=3)",
         _fault_sweep_specs,
         _fault_sweep_result,
+        family="ablations",
     )
     add(
         "serve_sweep",
         "live serving: online vs micro-batch across arrival rates",
         _no_specs,
         _serve_sweep_result,
+        family="serve",
     )
     add(
         "serve_scale",
         "sharded serving: aggregate events/sec across 1/2/4/8 shards",
         _no_specs,
         _serve_scale_result,
+        family="serve",
+    )
+    add(
+        "tape_tier",
+        "tiered disk/tape: energy vs latency across tier splits",
+        _no_specs,
+        _tape_tier_result,
+        family="tape",
     )
     for ablation_id in ABLATIONS:
         add(
@@ -407,6 +437,7 @@ def _build_registry() -> Dict[str, BenchDefinition]:
             "ablation sweep (uncached)",
             _no_specs,
             _ablation_result(ablation_id),
+            family="ablations",
         )
     return registry
 

@@ -20,7 +20,7 @@ from repro.disk.stats import DiskStats
 from repro.errors import ConfigurationError
 from repro.power.profile import DiskPowerProfile
 from repro.power.states import DiskPowerState
-from repro.report import AvailabilityReport, SimulationReport
+from repro.report import AvailabilityReport, SimulationReport, TapeTierReport
 
 #: Bump when the report payload layout changes (invalidates the cache
 #: through the key salt).
@@ -134,13 +134,54 @@ def _availability_from_payload(payload: Dict[str, Any]) -> AvailabilityReport:
     )
 
 
+def _tape_to_payload(tape: TapeTierReport) -> Dict[str, Any]:
+    return {
+        "sequencer": tape.sequencer,
+        "profile_name": tape.profile_name,
+        "num_drives": tape.num_drives,
+        "hot_capacity": tape.hot_capacity,
+        "requests_to_disk": tape.requests_to_disk,
+        "requests_to_tape": tape.requests_to_tape,
+        "tape_requests_completed": tape.tape_requests_completed,
+        "promotions": tape.promotions,
+        "demotions": tape.demotions,
+        "mounts": tape.mounts,
+        "unmounts": tape.unmounts,
+        "seek_distance_m": tape.seek_distance_m,
+        "tape_energy_j": tape.tape_energy,
+        "state_time_s": dict(tape.state_time_s),
+        "tape_response_times_s": list(tape.tape_response_times),
+    }
+
+
+def _tape_from_payload(payload: Dict[str, Any]) -> TapeTierReport:
+    return TapeTierReport(
+        sequencer=payload["sequencer"],
+        profile_name=payload["profile_name"],
+        num_drives=payload["num_drives"],
+        hot_capacity=payload["hot_capacity"],
+        requests_to_disk=payload["requests_to_disk"],
+        requests_to_tape=payload["requests_to_tape"],
+        tape_requests_completed=payload["tape_requests_completed"],
+        promotions=payload["promotions"],
+        demotions=payload["demotions"],
+        mounts=payload["mounts"],
+        unmounts=payload["unmounts"],
+        seek_distance_m=payload["seek_distance_m"],
+        tape_energy=payload["tape_energy_j"],
+        state_time_s=dict(payload["state_time_s"]),
+        tape_response_times=tuple(payload["tape_response_times_s"]),
+    )
+
+
 def report_to_payload(report: SimulationReport) -> Dict[str, Any]:
     """A report as a JSON-able dict, exact to the last bit.
 
     ``disk_stats`` keys become strings (JSON object keys); the shared
     power profile is stored once at the top level.  The ``availability``
-    key is additive: it appears only for fault-injected runs, keeping
-    no-fault payloads byte-identical to schema version 1 output.
+    and ``tape`` keys are additive: they appear only for fault-injected
+    and tiered runs respectively, keeping disk-only no-fault payloads
+    byte-identical to schema version 1 output.
     """
     profile: Optional[DiskPowerProfile] = None
     for stats in report.disk_stats.values():
@@ -165,6 +206,8 @@ def report_to_payload(report: SimulationReport) -> Dict[str, Any]:
     }
     if report.availability is not None:
         payload["availability"] = _availability_to_payload(report.availability)
+    if report.tape is not None:
+        payload["tape"] = _tape_to_payload(report.tape)
     return payload
 
 
@@ -200,6 +243,11 @@ def report_from_payload(payload: Dict[str, Any]) -> SimulationReport:
         availability=(
             _availability_from_payload(payload["availability"])
             if "availability" in payload
+            else None
+        ),
+        tape=(
+            _tape_from_payload(payload["tape"])
+            if "tape" in payload
             else None
         ),
     )

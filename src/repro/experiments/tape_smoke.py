@@ -1,0 +1,100 @@
+"""Tape-tier digest smoke: pin the tape_tier sweep, re-check in CI.
+
+``python -m repro.experiments.tape_smoke`` runs the ``tape_tier``
+ablation at CI smoke scale, digests its canonical result payload
+(panels, x-values and every series value, byte-exact), and writes or
+checks a pin file. The pin is the cold tier's determinism contract:
+same scale + seed must reproduce every energy, latency and seek-distance
+number bit for bit — across machines, Python versions and CI runs. A
+mismatch means something on the tape path (sequencer order, drive state
+machine, tier routing, layout) changed an observable result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.experiments.harness.serialize import canonical_json, sha256_hex
+from repro.experiments.tape_tier import run_tape_tier
+
+#: CI smoke defaults — the same cell sizes tape-smoke runs.
+DEFAULT_SCALE = 0.05
+DEFAULT_SEED = 11
+
+
+def tape_tier_payload(scale: float, seed: int) -> Dict[str, Any]:
+    """The tape_tier sweep as a JSON-able payload (bench result shape)."""
+    result = run_tape_tier(scale=scale, seed=seed)
+    return {
+        "ablation_id": result.ablation_id,
+        "title": result.title,
+        "panels": [
+            {
+                "name": panel.name,
+                "x_label": panel.x_label,
+                "x_values": list(panel.x_values),
+                "series": {
+                    name: list(values)
+                    for name, values in panel.series.items()
+                },
+            }
+            for panel in result.panels
+        ],
+    }
+
+
+def digest_tape_tier(scale: float, seed: int) -> str:
+    """Combined SHA-256 of the canonical tape_tier payload."""
+    return sha256_hex(canonical_json(tape_tier_payload(scale, seed)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the tape-smoke CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.tape_smoke",
+        description="digest the tape_tier sweep and compare against a "
+        "committed pin",
+    )
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--check",
+        metavar="PIN",
+        default=None,
+        help="fail unless the digest equals this pin file's",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PIN",
+        default=None,
+        help="write the digest to this pin file",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the sweep, print the digest, write/check the pin."""
+    args = build_parser().parse_args(argv)
+    digest = digest_tape_tier(args.scale, args.seed)
+    print(f"{digest}  tape_tier scale={args.scale} seed={args.seed}")
+    if args.write is not None:
+        Path(args.write).write_text(digest + "\n", encoding="utf-8")
+        print(f"wrote {args.write}")
+    if args.check is not None:
+        pinned = Path(args.check).read_text(encoding="utf-8").strip()
+        if digest != pinned:
+            print(
+                f"digest mismatch: measured {digest} != pinned {pinned} "
+                f"({args.check})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"pin ok: {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

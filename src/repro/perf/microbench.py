@@ -262,6 +262,39 @@ def bench_storage_dispatch(
     )
 
 
+def bench_tape_plan(
+    policy: str, queue_depth: int, iterations: int = 200, seed: int = 1
+) -> MicrobenchResult:
+    """LTSP sequencing throughput: plan() over a fixed pending batch.
+
+    One plan call sequences ``queue_depth`` pending requests — the work
+    the tape drive performs per busy period. Positions are a seeded
+    uniform scatter over an LTO-length tape; the head starts mid-tape so
+    both sweep directions stay populated. At ``queue_depth`` above the
+    DP cutoff the ``ltsp`` policy exercises its nearest-neighbour
+    fallback, which is exactly the saturated-queue path worth timing.
+    """
+    import random
+
+    from repro.tape.profile import LTO_GEN8
+    from repro.tape.sequencer import make_sequencer
+
+    rng = random.Random(seed)
+    positions = [
+        rng.uniform(0.0, LTO_GEN8.tape_length) for _ in range(queue_depth)
+    ]
+    head_m = LTO_GEN8.tape_length / 2
+    sequencer = make_sequencer(policy)
+    plan = sequencer.plan
+    started = time.perf_counter()
+    for _ in range(iterations):
+        plan(head_m, positions)
+    wall_s = time.perf_counter() - started
+    return MicrobenchResult(
+        f"tape_plan_{policy}_{queue_depth}", iterations * queue_depth, wall_s
+    )
+
+
 def measure_perf_core(
     scale: float = 0.5, seed: int = 1, repeats: int = 3
 ) -> Tuple[MicrobenchResult, List[Dict[str, Any]]]:
@@ -376,6 +409,16 @@ def run_suite(
                 vector=vector, iterations=kernel_iterations, seed=seed
             )
         )
+    for policy in ("nearest", "ltsp"):
+        for queue_depth in (10, 100, 1000):
+            micro.append(
+                bench_tape_plan(
+                    policy,
+                    queue_depth,
+                    iterations=20 if quick else 200,
+                    seed=seed,
+                )
+            )
     core, points = measure_perf_core(scale=scale, seed=seed, repeats=repeats)
     wall_clock_s = time.perf_counter() - started
 

@@ -167,6 +167,66 @@ class AvailabilityReport:
 
 
 @dataclass(frozen=True)
+class TapeTierReport:
+    """Cold-tier outcome of one tiered (disk + tape) run.
+
+    Present on a :class:`SimulationReport` only when the run had a
+    :class:`~repro.tape.config.TierConfig` attached — disk-only runs
+    carry ``None`` so their serialised form stays byte-identical to the
+    pre-tier code. All quantities are plain primitives: counts, joules,
+    seconds and metres.
+
+    Attributes:
+        sequencer: LTSP sequencer family the tape drives planned with.
+        profile_name: Tape power-profile name.
+        num_drives: Tape drives in the cold tier.
+        hot_capacity: Data ids the hot (disk) set holds at once.
+        requests_to_disk: Requests routed to the disk tier.
+        requests_to_tape: Requests routed to the tape tier.
+        tape_requests_completed: Tape requests serviced before the end.
+        promotions: Tape reads that promoted their data id to the hot
+            set (0 when promote-on-access is off).
+        demotions: Hot ids evicted back to the cold set by promotions.
+        mounts / unmounts: Cartridge mount/unmount operations summed
+            over all drives (the tape analogue of spin ups/downs).
+        seek_distance_m: Metres of tape wound, summed over all drives.
+        tape_energy: Joules consumed by the tape drives (the report's
+            ``total_energy`` includes it).
+        state_time_s: Seconds per tape power state (by state name)
+            summed over all drives.
+        tape_response_times: Response times in seconds of the
+            tape-serviced requests, completion order.
+    """
+
+    sequencer: str
+    profile_name: str
+    num_drives: int
+    hot_capacity: int
+    requests_to_disk: int = 0
+    requests_to_tape: int = 0
+    tape_requests_completed: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    mounts: int = 0
+    unmounts: int = 0
+    seek_distance_m: float = 0.0
+    tape_energy: float = 0.0
+    state_time_s: Mapping[str, float] = field(default_factory=dict)
+    tape_response_times: Sequence[float] = field(default=(), repr=False)
+
+    @property
+    def mean_tape_response_time(self) -> float:
+        """Mean tape response time in seconds (0.0 when none completed)."""
+        if not self.tape_response_times:
+            return 0.0
+        return sum(self.tape_response_times) / len(self.tape_response_times)
+
+    def tape_response_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the tape response times."""
+        return percentile(sorted(self.tape_response_times), fraction)
+
+
+@dataclass(frozen=True)
 class SimulationReport:
     """Immutable results of one simulation run.
 
@@ -183,6 +243,7 @@ class SimulationReport:
             timers excluded; 0 for analytically-evaluated offline runs).
         availability: Fault/availability outcome; ``None`` unless the run
             had an active fault plan.
+        tape: Cold-tier outcome; ``None`` unless the run was tiered.
     """
 
     scheduler_name: str
@@ -196,6 +257,7 @@ class SimulationReport:
     cache_misses: int = 0
     events_processed: int = 0
     availability: Optional[AvailabilityReport] = None
+    tape: Optional[TapeTierReport] = None
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -290,4 +352,22 @@ class SimulationReport:
                 f"lost / redispatched  : {avail.requests_lost} / "
                 f"{avail.requests_redispatched}"
             )
+        if self.tape is not None:
+            tape = self.tape
+            lines.append(
+                f"tier split           : {tape.requests_to_disk} disk / "
+                f"{tape.requests_to_tape} tape "
+                f"(hot capacity {tape.hot_capacity})"
+            )
+            lines.append(
+                f"tape ({tape.sequencer:>7s})       : "
+                f"{tape.tape_energy:.0f} J, "
+                f"{tape.seek_distance_m:.0f} m wound, "
+                f"{tape.mounts} mounts"
+            )
+            if tape.tape_response_times:
+                lines.append(
+                    f"tape mean response   : "
+                    f"{tape.mean_tape_response_time:.1f} s"
+                )
         return "\n".join(lines)

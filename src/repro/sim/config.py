@@ -13,6 +13,7 @@ from repro.faults.plan import FaultPlan
 from repro.power.policy import PowerPolicy, TwoCompetitivePolicy
 from repro.power.profile import BARRACUDA, DiskPowerProfile
 from repro.power.states import DiskPowerState
+from repro.tape.config import TierConfig
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,12 @@ class SimulationConfig:
             the run's cache identity. Defaults to
             :func:`repro.core.fleet.default_kernel` (the ``--kernel``
             CLI flag / ``REPRO_KERNEL`` environment variable).
+        tier: Optional cold-tier configuration (see
+            :class:`~repro.tape.config.TierConfig`). ``None`` — the
+            default — runs the exact disk-only code path and produces
+            byte-identical reports; attaching one routes cold data ids
+            to tape via
+            :class:`~repro.tape.tier.TieredStorageSystem`.
     """
 
     num_disks: int
@@ -72,6 +79,7 @@ class SimulationConfig:
     record_transitions: bool = False
     fault_plan: Optional[FaultPlan] = None
     kernel: str = field(default_factory=default_kernel)
+    tier: Optional[TierConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_disks <= 0:

@@ -48,6 +48,12 @@ def simulate(
     """Run an online or batch scheduler through the event simulator."""
     if isinstance(scheduler, OfflineScheduler):
         return run_offline(requests, catalog, scheduler, config).report
+    if config.tier is not None:
+        # Imported lazily: the tiered system embeds StorageSystem, so
+        # repro.tape.tier imports this package back.
+        from repro.tape.tier import TieredStorageSystem
+
+        return TieredStorageSystem(catalog, scheduler, config).run(requests)
     system = StorageSystem(catalog, scheduler, config)
     return system.run(requests)
 

@@ -54,7 +54,16 @@ class StorageSystem:
         catalog: PlacementCatalog,
         scheduler: Scheduler,
         config: SimulationConfig,
+        engine: Optional[SimulationEngine] = None,
     ):
+        """Wire scheduler + disks to an engine.
+
+        ``engine`` lets an embedding system (the tiered disk/tape
+        system) share one virtual clock with the disk fleet; when
+        ``None`` — every direct use — a private engine is created and
+        :meth:`run` drives it. An embedder passing its own engine must
+        drive that engine itself instead of calling :meth:`run`.
+        """
         if not isinstance(scheduler, (OnlineScheduler, BatchScheduler)):
             raise SchedulingError(
                 "StorageSystem drives online/batch schedulers; use "
@@ -71,7 +80,7 @@ class StorageSystem:
             scheduler if isinstance(scheduler, OnlineScheduler) else None
         )
         self._config = config
-        self._engine = SimulationEngine()
+        self._engine = engine if engine is not None else SimulationEngine()
         self._metrics = MetricsCollector()
         self._disks: Dict[DiskId, SimulatedDisk] = {
             disk_id: SimulatedDisk(
@@ -113,6 +122,32 @@ class StorageSystem:
                 disks=self._disks,
                 on_disk_failed=self._on_disk_failed,
             )
+
+    # -- embedder interface (tiered system) ------------------------------
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The engine this system is wired to."""
+        return self._engine
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The completion collector (shared with an embedder's drives)."""
+        return self._metrics
+
+    def arrival_handler(self) -> Callable[[Request], None]:
+        """Per-request admission entry point for an embedding system.
+
+        Routes exactly like :meth:`run`'s own arrival stream (including
+        the fused fast paths), so an embedder feeding a subset of the
+        trace through this handler gets byte-identical disk behaviour.
+        """
+        return self._arrival_callback()
+
+    def finalize_disks(self) -> None:
+        """Close every disk's stats ledger at the engine's current time."""
+        for disk in self._disks.values():
+            disk.finalize()
 
     # -- SystemView protocol -------------------------------------------
 

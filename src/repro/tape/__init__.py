@@ -1,0 +1,65 @@
+"""Cold-tier linear-tape backend: device model, LTSP sequencing, tiering.
+
+``repro.tape`` is the second storage backend next to :mod:`repro.disk`,
+with a fundamentally different cost geometry: requests live at fixed
+positions on a 1-D medium, service cost is position-dependent seek, and
+*sequencing* (not just assignment) dominates energy and latency — the
+Linear Tape Scheduling Problem (arXiv:1810.09005, arXiv:2112.07018).
+
+Modules:
+
+* :mod:`repro.tape.states` / :mod:`repro.tape.profile` — the tape power
+  model (mount/unmount transitions, wind states, LTO-class numbers).
+* :mod:`repro.tape.sequencer` — the LTSP policy registry (``fifo``,
+  ``nearest``, ``scan``, ``ltsp``), pure batch planners.
+* :mod:`repro.tape.layout` — popularity-ranked on-tape data placement.
+* :mod:`repro.tape.stats` — the per-drive time/energy/seek ledger.
+* :mod:`repro.tape.config` — the :class:`TierConfig` axis attached to
+  :class:`~repro.sim.config.SimulationConfig`.
+* :mod:`repro.tape.drive` — the :class:`TapeDrive` device model (import
+  it directly; it pulls in the simulation engine).
+* :mod:`repro.tape.tier` — the tiered disk+tape storage system (import
+  it directly; it pulls in :mod:`repro.sim.storage`).
+
+``drive`` and ``tier`` are deliberately *not* imported here: this
+package's ``__init__`` must stay importable from
+:mod:`repro.sim.config` (which imports :class:`TierConfig`) without
+circling back into :mod:`repro.sim`.
+"""
+
+from repro.tape.config import TierConfig
+from repro.tape.layout import TapeLayout
+from repro.tape.profile import (
+    LTO_GEN8,
+    TAPE_PROFILES,
+    TAPE_UNIT,
+    TapePowerProfile,
+    get_tape_profile,
+)
+from repro.tape.sequencer import (
+    SEQUENCER_FACTORIES,
+    TapeSequencer,
+    make_sequencer,
+    sequencer_names,
+    total_seek_distance,
+)
+from repro.tape.states import TAPE_STATE_ORDER, TapePowerState
+from repro.tape.stats import TapeStats
+
+__all__ = [
+    "LTO_GEN8",
+    "SEQUENCER_FACTORIES",
+    "TAPE_PROFILES",
+    "TAPE_STATE_ORDER",
+    "TAPE_UNIT",
+    "TapeLayout",
+    "TapePowerProfile",
+    "TapePowerState",
+    "TapeSequencer",
+    "TapeStats",
+    "TierConfig",
+    "get_tape_profile",
+    "make_sequencer",
+    "sequencer_names",
+    "total_seek_distance",
+]

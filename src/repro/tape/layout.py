@@ -1,0 +1,85 @@
+"""Popularity-ranked data layout on the linear medium.
+
+Where a data id sits on the tape decides every future seek to it, so the
+layout is the placement decision of the cold tier. :class:`TapeLayout`
+places ids by popularity rank using the same Zipf mass the traces model
+(:func:`repro.placement.zipf.zipf_probabilities`): each rank's position
+is the cumulative probability mass of all more-popular ranks, scaled to
+the tape length. Popular ids therefore sit near the start of the tape —
+cheap to reach from the rewound/mounted head position — and are spread
+apart in proportion to their access mass, while the cold tail packs
+densely toward the far end, so a batch of tail requests is served by one
+short sweep of a narrow window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.placement.zipf import zipf_probabilities
+from repro.types import DataId
+
+
+class TapeLayout:
+    """Immutable data-id -> tape-position map for one cartridge."""
+
+    __slots__ = ("_positions", "tape_length_m")
+
+    def __init__(self, positions: Dict[DataId, float], tape_length_m: float):
+        """Wrap a precomputed position map (metres from tape start)."""
+        if tape_length_m <= 0:
+            raise ConfigurationError("tape_length_m must be > 0")
+        for data_id, position in positions.items():
+            if not 0.0 <= position <= tape_length_m:
+                raise ConfigurationError(
+                    f"data {data_id} at {position} m is off the "
+                    f"{tape_length_m} m tape"
+                )
+        self._positions = positions
+        self.tape_length_m = tape_length_m
+
+    @classmethod
+    def from_ranked_ids(
+        cls,
+        ranked_ids: Sequence[DataId],
+        tape_length_m: float,
+        exponent: float = 1.0,
+    ) -> "TapeLayout":
+        """Lay ``ranked_ids`` (most popular first) out by Zipf mass.
+
+        Rank ``r``'s position is the Zipf CDF *before* rank ``r`` times
+        the tape length: rank 0 sits at 0 m, and each id starts where
+        the access mass of everything more popular ends.
+        """
+        if len(set(ranked_ids)) != len(ranked_ids):
+            raise ConfigurationError("ranked_ids contains duplicates")
+        positions: Dict[DataId, float] = {}
+        if ranked_ids:
+            probabilities = zipf_probabilities(len(ranked_ids), exponent)
+            mass_before = 0.0
+            for data_id, probability in zip(ranked_ids, probabilities):
+                positions[data_id] = mass_before * tape_length_m
+                mass_before += probability
+        return cls(positions, tape_length_m)
+
+    def position(self, data_id: DataId) -> float:
+        """Tape position of ``data_id`` in metres from the start.
+
+        Raises:
+            ConfigurationError: if the id has no tape replica.
+        """
+        try:
+            return self._positions[data_id]
+        except KeyError:
+            raise ConfigurationError(f"data {data_id} has no tape replica")
+
+    def __contains__(self, data_id: DataId) -> bool:
+        return data_id in self._positions
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def data_ids(self) -> List[DataId]:
+        """All ids on this cartridge, in layout (rank) order."""
+        return sorted(self._positions, key=lambda d: (self._positions[d], d))

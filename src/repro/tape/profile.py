@@ -1,0 +1,240 @@
+"""Tape drive power/geometry profiles.
+
+A :class:`TapePowerProfile` is the tape analogue of
+:class:`~repro.power.profile.DiskPowerProfile`: per-state powers plus the
+transition costs, extended with the linear-medium geometry (tape length,
+wind speed, streaming rate) that turns a seek *distance* into time and
+energy — the quantity the Linear Tape Scheduling Problem minimises.
+
+:data:`LTO_GEN8` carries LTO-8-class numbers assembled from public
+datasheets (12 TB native, ~960 m of tape, ~360 MB/s native streaming,
+high-speed search around 8 m/s, mount/thread times in the tens of
+seconds). :data:`TAPE_UNIT` is a unit-cost teaching model in the spirit
+of the paper's Section 2.3 disk model: 1 W everywhere interesting,
+1 m/s wind speed, instant mounts — seek distance and seek energy
+coincide, which makes sequencer behaviour directly readable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.tape.states import TapePowerState
+
+
+@dataclass(frozen=True)
+class TapePowerProfile:
+    """Electrical + geometric model of one tape drive.
+
+    Attributes:
+        name: Human-readable identifier used in reports.
+        unmounted_power: Watts with no cartridge loaded (shelf power).
+        loaded_power: Watts with a cartridge threaded and reels stopped.
+        seek_power: Watts while winding the tape (high-speed search).
+        read_power: Watts while streaming data under the head.
+        mount_power: Average watts drawn during a cartridge mount.
+        unmount_power: Average watts drawn during an unmount (incl. the
+            rewind to the start of the tape).
+        mount_time: Seconds to load and thread a cartridge.
+        unmount_time: Seconds to rewind and eject a cartridge.
+        seek_speed: Longitudinal wind speed in metres/second.
+        read_rate: Streaming throughput in bytes/second.
+        tape_length: Usable tape length in metres.
+        mount_breakeven_override: Optional explicit mount-breakeven
+            threshold in seconds; when ``None`` the 2-competitive
+            analogue ``(mount + unmount energy) / loaded power`` is used.
+    """
+
+    name: str
+    unmounted_power: float
+    loaded_power: float
+    seek_power: float
+    read_power: float
+    mount_power: float
+    unmount_power: float
+    mount_time: float
+    unmount_time: float
+    seek_speed: float
+    read_rate: float
+    tape_length: float
+    mount_breakeven_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "unmounted_power",
+            "loaded_power",
+            "seek_power",
+            "read_power",
+            "mount_power",
+            "unmount_power",
+            "mount_time",
+            "unmount_time",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0, got {value}")
+        for field_name in ("seek_speed", "read_rate", "tape_length"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ConfigurationError(f"{field_name} must be > 0, got {value}")
+        if self.loaded_power == 0 and self.mount_breakeven_override is None:
+            raise ConfigurationError(
+                "loaded_power == 0 requires an explicit mount_breakeven_override"
+            )
+        if (
+            self.mount_breakeven_override is not None
+            and self.mount_breakeven_override < 0
+        ):
+            raise ConfigurationError("mount_breakeven_override must be >= 0")
+
+    @property
+    def mount_energy(self) -> float:
+        """Joules to load and thread a cartridge."""
+        return self.mount_power * self.mount_time
+
+    @property
+    def unmount_energy(self) -> float:
+        """Joules to rewind and eject a cartridge."""
+        return self.unmount_power * self.unmount_time
+
+    @property
+    def remount_energy(self) -> float:
+        """Joules of a full unmount + mount round trip."""
+        return self.mount_energy + self.unmount_energy
+
+    @property
+    def transition_time(self) -> float:
+        """Mount + unmount seconds (the tape analogue of Tup + Tdown)."""
+        return self.mount_time + self.unmount_time
+
+    @property
+    def mount_breakeven_time(self) -> float:
+        """The 2-competitive unmount threshold in seconds.
+
+        Keeping the cartridge loaded costs ``loaded_power`` watts; an
+        unmount/remount round trip costs ``remount_energy`` joules. The
+        breakeven idle period equates the two — exactly the disk model's
+        ``TB`` with mount costs in place of spin costs.
+        """
+        if self.mount_breakeven_override is not None:
+            return self.mount_breakeven_override
+        return self.remount_energy / self.loaded_power
+
+    @property
+    def full_wind_time(self) -> float:
+        """Seconds to wind end-to-end (the worst-case single seek)."""
+        return self.tape_length / self.seek_speed
+
+    def seek_time(self, distance: float) -> float:
+        """Seconds to wind ``distance`` metres (constant-speed model)."""
+        if distance < 0:
+            raise ConfigurationError(f"seek distance must be >= 0, got {distance}")
+        return distance / self.seek_speed
+
+    def read_time(self, size_bytes: int) -> float:
+        """Seconds to stream ``size_bytes`` at the native rate."""
+        if size_bytes < 0:
+            raise ConfigurationError(f"size_bytes must be >= 0, got {size_bytes}")
+        return size_bytes / self.read_rate
+
+    def power(self, state: TapePowerState) -> float:
+        """Steady-state watts drawn in ``state``."""
+        return _POWER_FIELD_BY_STATE[state](self)
+
+    def state_powers(self) -> Dict[TapePowerState, float]:
+        """Mapping of every state to its steady-state power in watts."""
+        return {state: self.power(state) for state in TapePowerState}
+
+    def with_overrides(self, **changes: float) -> "TapePowerProfile":
+        """Copy of this profile with selected fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (watts/seconds/metres)."""
+        lines = [
+            f"tape profile: {self.name}",
+            f"  unmounted power        : {self.unmounted_power:.2f} W",
+            f"  loaded power           : {self.loaded_power:.2f} W",
+            f"  seek / read power      : {self.seek_power:.1f} W / "
+            f"{self.read_power:.1f} W",
+            f"  mount                  : {self.mount_time:.1f} s @ "
+            f"{self.mount_power:.1f} W = {self.mount_energy:.1f} J",
+            f"  unmount                : {self.unmount_time:.1f} s @ "
+            f"{self.unmount_power:.1f} W = {self.unmount_energy:.1f} J",
+            f"  mount breakeven        : {self.mount_breakeven_time:.2f} s",
+            f"  tape length            : {self.tape_length:.0f} m @ "
+            f"{self.seek_speed:.1f} m/s wind",
+            f"  full wind              : {self.full_wind_time:.1f} s",
+        ]
+        return "\n".join(lines)
+
+
+_POWER_FIELD_BY_STATE = {
+    TapePowerState.UNMOUNTED: lambda p: p.unmounted_power,
+    TapePowerState.MOUNTING: lambda p: p.mount_power,
+    TapePowerState.LOADED: lambda p: p.loaded_power,
+    TapePowerState.SEEKING: lambda p: p.seek_power,
+    TapePowerState.READING: lambda p: p.read_power,
+    TapePowerState.UNMOUNTING: lambda p: p.unmount_power,
+}
+
+
+#: LTO-8-class drive: ~960 m of tape, ~360 MB/s native streaming,
+#: high-speed search around 8 m/s, and powers in the band public LTO
+#: datasheets quote (a few watts threaded-idle, high twenties winding).
+#: Mount breakeven works out to ~61 s.
+LTO_GEN8 = TapePowerProfile(
+    name="lto-gen8",
+    unmounted_power=1.0,
+    loaded_power=6.9,
+    seek_power=27.0,
+    read_power=27.0,
+    mount_power=12.0,
+    unmount_power=12.0,
+    mount_time=20.0,
+    unmount_time=15.0,
+    seek_speed=8.0,
+    read_rate=360e6,
+    tape_length=960.0,
+)
+
+#: Unit-cost teaching model: 1 W in every mounted state, 1 m/s wind, a
+#: 100 m tape, instant free mounts, breakeven fixed at 10 s. Seek time,
+#: seek distance and seek energy coincide numerically, so sequencer
+#: behaviour is directly readable in unit tests.
+TAPE_UNIT = TapePowerProfile(
+    name="tape-unit-model",
+    unmounted_power=0.0,
+    loaded_power=1.0,
+    seek_power=1.0,
+    read_power=1.0,
+    mount_power=0.0,
+    unmount_power=0.0,
+    mount_time=0.0,
+    unmount_time=0.0,
+    seek_speed=1.0,
+    read_rate=1e9,
+    tape_length=100.0,
+    mount_breakeven_override=10.0,
+)
+
+TAPE_PROFILES: Dict[str, TapePowerProfile] = {
+    profile.name: profile for profile in (LTO_GEN8, TAPE_UNIT)
+}
+
+
+def get_tape_profile(name: str) -> TapePowerProfile:
+    """Look up a built-in tape profile by name.
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        return TAPE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(TAPE_PROFILES))
+        raise ConfigurationError(
+            f"unknown tape profile {name!r}; known: {known}"
+        )

@@ -1,0 +1,286 @@
+"""Tiered storage: hot replicas on disk, cold replicas on tape.
+
+:class:`TieredStorageSystem` embeds the disk-only
+:class:`~repro.sim.storage.StorageSystem` unchanged and adds a cold tier
+of :class:`~repro.tape.drive.TapeDrive` instances on the same virtual
+clock. Per arrival it routes by data-id temperature:
+
+* **hot** ids (an LRU set of the most popular ids, capacity
+  ``ceil(hot_fraction × num_ids)``) go to the disk tier through the
+  exact same admission path a disk-only run uses — scheduler choice,
+  placement checks, fused fast paths and all;
+* **cold** ids go to the tape drive holding their cartridge, at the
+  position assigned by the popularity-ranked
+  :class:`~repro.tape.layout.TapeLayout`.
+
+The hot set is seeded from the trace's empirical popularity (most
+requested first — the same oracle-placement liberty the paper takes for
+its Zipf layouts) and, when ``promote_on_access`` is set, adapts online:
+a completed tape read promotes its id into the hot set, evicting the
+least recently used hot id back to the cold set. Data movement itself is
+not simulated — every id permanently owns both a disk placement and a
+tape position, and the tier decides only *routing* — so migration costs
+appear as the mount/wind work of serving cold requests, not as a
+separate copy workload.
+
+Determinism: routing state is pure function of the (sorted) request
+sequence, the tape drives use no randomness, and the disk tier runs the
+byte-identical disk-only code, so same-seed tiered runs reproduce
+exactly.
+"""
+
+from __future__ import annotations
+
+import gc
+from collections import OrderedDict
+from math import ceil
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError, SimulationError
+from repro.placement.catalog import PlacementCatalog
+from repro.report import SimulationReport, TapeTierReport
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.storage import _REQUEST_ORDER, StorageSystem
+from repro.tape.config import TierConfig
+from repro.tape.drive import TapeDrive
+from repro.tape.layout import TapeLayout
+from repro.tape.sequencer import make_sequencer
+from repro.tape.states import TAPE_STATE_ORDER
+from repro.types import DataId, Request
+
+
+class TieredStorageSystem:
+    """One tiered disk+tape storage system instance (single-use)."""
+
+    def __init__(
+        self,
+        catalog: PlacementCatalog,
+        scheduler: Scheduler,
+        config: SimulationConfig,
+    ):
+        tier = config.tier
+        if tier is None:
+            raise ConfigurationError(
+                "TieredStorageSystem needs config.tier; disk-only runs "
+                "use StorageSystem"
+            )
+        if config.fault_plan is not None and config.fault_plan.active:
+            raise ConfigurationError(
+                "fault injection is not supported on tiered runs yet"
+            )
+        self._config = config
+        self._tier = tier
+        self._engine = SimulationEngine()
+        #: The embedded disk tier — also the scheduler's SystemView.
+        self.disk_tier = StorageSystem(
+            catalog, scheduler, config, engine=self._engine
+        )
+        self._scheduler = scheduler
+        self._metrics = self.disk_tier.metrics
+        self._disk_admit = self.disk_tier.arrival_handler()
+        #: Live tape metrics (per-request seek distance and energy
+        #: histograms) — the drives' window into repro.sim.metrics.
+        self.registry = MetricsRegistry()
+        self._drives: List[TapeDrive] = [
+            TapeDrive(
+                drive_id=index,
+                engine=self._engine,
+                profile=tier.tape_profile,
+                sequencer=make_sequencer(tier.sequencer),
+                on_complete=self._on_tape_complete,
+                completion_id=config.num_disks + index,
+                registry=self.registry,
+            )
+            for index in range(tier.num_tape_drives)
+        ]
+        self._all_ids = sorted(catalog.mapping())
+        self._hot: "OrderedDict[DataId, None]" = OrderedDict()
+        self._hot_capacity = 0
+        self._drive_of: Dict[DataId, int] = {}
+        self._position_of: Dict[DataId, float] = {}
+        self._requests_to_disk = 0
+        self._requests_to_tape = 0
+        self._promotions = 0
+        self._demotions = 0
+        self._tape_response_times: List[float] = []
+        self._offered = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def _prepare_placement(self, ordered: Sequence[Request]) -> None:
+        """Rank ids by trace popularity; seed hot set and tape layouts."""
+        counts: Dict[DataId, int] = {}
+        for request in ordered:
+            counts[request.data_id] = counts.get(request.data_id, 0) + 1
+        ranked = sorted(
+            self._all_ids, key=lambda data_id: (-counts.get(data_id, 0), data_id)
+        )
+        self._hot_capacity = ceil(self._tier.hot_fraction * len(ranked))
+        # LRU order: least popular hot id first, so it is evicted first.
+        for data_id in reversed(ranked[: self._hot_capacity]):
+            self._hot[data_id] = None
+        # Every id owns a tape position (promotion/demotion is pure
+        # routing): stripe the full popularity ranking across the
+        # drives, then lay each drive's cartridge out by Zipf mass.
+        num_drives = self._tier.num_tape_drives
+        profile = self._tier.tape_profile
+        for drive_index in range(num_drives):
+            cartridge_ids = ranked[drive_index::num_drives]
+            layout = TapeLayout.from_ranked_ids(
+                cartridge_ids,
+                profile.tape_length,
+                self._tier.layout_exponent,
+            )
+            for data_id in cartridge_ids:
+                self._drive_of[data_id] = drive_index
+                self._position_of[data_id] = layout.position(data_id)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _on_arrival(self, request: Request) -> None:
+        data_id = request.data_id
+        hot = self._hot
+        if data_id in hot:
+            hot.move_to_end(data_id)
+            self._requests_to_disk += 1
+            self._disk_admit(request)
+            return
+        self._requests_to_tape += 1
+        self._drives[self._drive_of[data_id]].submit(
+            request, self._position_of[data_id]
+        )
+
+    def _on_tape_complete(
+        self, request: Request, completion_id: int, now: float
+    ) -> None:
+        self._metrics.on_complete(request, completion_id, now)
+        self._tape_response_times.append(now - request.time)
+        if not self._tier.promote_on_access:
+            return
+        hot = self._hot
+        data_id = request.data_id
+        if data_id in hot:
+            # A burst of requests for one cold id: the first completion
+            # already promoted it.
+            hot.move_to_end(data_id)
+            return
+        hot[data_id] = None
+        self._promotions += 1
+        if len(hot) > self._hot_capacity:
+            hot.popitem(last=False)
+            self._demotions += 1
+
+    # ------------------------------------------------------------------
+    # driving the run
+    # ------------------------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> SimulationReport:
+        """Replay ``requests`` through both tiers; return the report."""
+        if self._ran:
+            raise SimulationError(
+                "TieredStorageSystem instances are single-use"
+            )
+        self._ran = True
+        ordered = sorted(requests, key=_REQUEST_ORDER)
+        self._offered = len(ordered)
+        self._prepare_placement(ordered)
+        last_arrival = ordered[-1].time if ordered else 0.0
+        horizon = self._config.derived_horizon(last_arrival)
+        if self._config.horizon is None:
+            # Tape work drains slowly (a cold batch can imply a mount
+            # plus a near-full wind); grant the cold tier its slack.
+            horizon += self._tier.drain_horizon_slack
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._engine.run(
+                until=horizon,
+                arrivals=(
+                    [request.time for request in ordered],
+                    ordered,
+                    self._on_arrival,
+                ),
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.disk_tier.finalize_disks()
+        for drive in self._drives:
+            drive.finalize()
+        return self._build_report()
+
+    def _build_report(self) -> SimulationReport:
+        disk_tier = self.disk_tier
+        disk_stats = {
+            disk_id: disk_tier.disk(disk_id).stats
+            for disk_id in disk_tier.disk_ids
+        }
+        disk_energy = sum(stats.energy for stats in disk_stats.values())
+        tape_energy = sum(drive.stats.energy for drive in self._drives)
+        state_time_s: Dict[str, float] = {}
+        for state in sorted(TAPE_STATE_ORDER, key=lambda s: s.value):
+            state_time_s[state.value] = sum(
+                drive.stats.state_time[state] for drive in self._drives
+            )
+        tape = TapeTierReport(
+            sequencer=self._tier.sequencer,
+            profile_name=self._tier.tape_profile.name,
+            num_drives=self._tier.num_tape_drives,
+            hot_capacity=self._hot_capacity,
+            requests_to_disk=self._requests_to_disk,
+            requests_to_tape=self._requests_to_tape,
+            tape_requests_completed=len(self._tape_response_times),
+            promotions=self._promotions,
+            demotions=self._demotions,
+            mounts=sum(drive.stats.mounts for drive in self._drives),
+            unmounts=sum(drive.stats.unmounts for drive in self._drives),
+            seek_distance_m=sum(
+                drive.stats.seek_distance_m for drive in self._drives
+            ),
+            tape_energy=tape_energy,
+            state_time_s=state_time_s,
+            tape_response_times=tuple(self._tape_response_times),
+        )
+        cache = disk_tier.cache
+        return SimulationReport(
+            scheduler_name=(
+                f"{self._scheduler.name}+tape-{self._tier.sequencer}"
+            ),
+            duration=self._engine.now,
+            total_energy=disk_energy + tape_energy,
+            disk_stats=disk_stats,
+            response_times=self._metrics.response_times,
+            requests_offered=self._offered,
+            requests_completed=self._metrics.completed,
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            events_processed=self._engine.events_processed,
+            availability=None,
+            tape=tape,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection (tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def hot_ids(self) -> List[DataId]:
+        """Current hot set, least recently used first."""
+        return list(self._hot)
+
+    def drive(self, drive_index: int) -> TapeDrive:
+        """Live view of one tape drive."""
+        return self._drives[drive_index]
+
+    def tape_position(self, data_id: DataId) -> Optional[float]:
+        """The id's tape position in metres (None before :meth:`run`)."""
+        return self._position_of.get(data_id)

@@ -396,6 +396,53 @@ def test_rpl301_allows_downward_imports(tmp_path):
     assert all(v.code != "RPL301" for v in report.violations)
 
 
+def test_rpl301_forbids_tape_importing_upward(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/tape/drive.py": """
+                from repro.experiments.tape_tier import run_tape_tier
+
+                def mount(drive):
+                    return run_tape_tier(drive)
+            """,
+            "repro/experiments/tape_tier.py": """
+                def run_tape_tier(drive):
+                    return drive
+            """,
+        },
+    )
+    findings = [v for v in report.violations if v.code == "RPL301"]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("drive.py")
+    assert "forbidden by the layering contract" in findings[0].message
+
+
+def test_rpl301_allows_tape_importing_placement_and_sim(tmp_path):
+    report = project(
+        tmp_path,
+        {
+            "repro/tape/tier.py": """
+                from repro.placement.zipf import ZipfSampler
+                from repro.sim.engine import advance
+
+                def route(request):
+                    return advance(ZipfSampler(request))
+            """,
+            "repro/placement/zipf.py": """
+                class ZipfSampler:
+                    def __init__(self, request):
+                        self.request = request
+            """,
+            "repro/sim/engine.py": """
+                def advance(queue):
+                    return queue
+            """,
+        },
+    )
+    assert all(v.code != "RPL301" for v in report.violations)
+
+
 # ------------------------------------------------- RPL007 interprocedural
 
 

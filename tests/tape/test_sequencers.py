@@ -1,0 +1,134 @@
+"""Property tests for the LTSP sequencer family.
+
+The three contracts every registered sequencer honours, plus the exact
+optimality the ``ltsp`` batch dynamic program claims:
+
+* a plan is a permutation — every pending request is served exactly
+  once, none invented, none dropped;
+* a plan never winds more tape than serving the batch in FIFO order
+  (the base-class guard makes this structural, not statistical);
+* planning is a pure function — the same head position and positions
+  produce the byte-identical order, across calls and across fresh
+  sequencer instances (what makes same-seed runs reproducible).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tape.sequencer import (
+    LtspSequencer,
+    NearestSequencer,
+    make_sequencer,
+    sequencer_names,
+    total_seek_distance,
+)
+
+#: Tape positions in metres on a synthetic 100 m cartridge. Fractions
+#: of 1/8 keep every arithmetic step exact in binary floating point.
+POSITIONS = st.lists(
+    st.integers(min_value=0, max_value=800).map(lambda n: n / 8.0),
+    min_size=0,
+    max_size=40,
+)
+
+HEADS = st.integers(min_value=0, max_value=800).map(lambda n: n / 8.0)
+
+ALL_SEQUENCERS = sorted(sequencer_names())
+
+
+@pytest.mark.parametrize("name", ALL_SEQUENCERS)
+@given(head=HEADS, positions=POSITIONS)
+@settings(max_examples=150, deadline=None)
+def test_plan_serves_every_request_exactly_once(
+    name: str, head: float, positions: List[float]
+) -> None:
+    order = make_sequencer(name).plan(head, positions)
+    assert sorted(order) == list(range(len(positions)))
+
+
+@pytest.mark.parametrize("name", ALL_SEQUENCERS)
+@given(head=HEADS, positions=POSITIONS)
+@settings(max_examples=150, deadline=None)
+def test_plan_never_winds_more_tape_than_fifo(
+    name: str, head: float, positions: List[float]
+) -> None:
+    order = make_sequencer(name).plan(head, positions)
+    planned = total_seek_distance(head, positions, order)
+    fifo = total_seek_distance(head, positions)
+    assert planned <= fifo
+
+
+@pytest.mark.parametrize("name", ALL_SEQUENCERS)
+@given(head=HEADS, positions=POSITIONS)
+@settings(max_examples=100, deadline=None)
+def test_plan_is_deterministic_across_instances(
+    name: str, head: float, positions: List[float]
+) -> None:
+    sequencer = make_sequencer(name)
+    first = sequencer.plan(head, positions)
+    assert sequencer.plan(head, positions) == first
+    assert make_sequencer(name).plan(head, positions) == first
+
+
+def _batch_latency(head: float, positions: List[float], order: List[int]) -> float:
+    """Sum of completion times (in seconds at unit wind speed, zero
+    read time) of serving ``positions`` in ``order``."""
+    at = head
+    elapsed = 0.0
+    total = 0.0
+    for index in order:
+        elapsed += abs(positions[index] - at)
+        at = positions[index]
+        total += elapsed
+    return total
+
+
+@given(
+    head=st.integers(min_value=0, max_value=64).map(float),
+    positions=st.lists(
+        st.integers(min_value=0, max_value=64).map(float),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_ltsp_dp_matches_brute_force_minimum_latency(
+    head: float, positions: List[float]
+) -> None:
+    """The batch DP attains the exhaustive minimum sum of completion
+    times (``_dp_order`` is checked below the FIFO guard on purpose —
+    the guard trades latency optimality for the seek-distance bound)."""
+    dp_order = LtspSequencer()._dp_order(head, positions)
+    assert sorted(dp_order) == list(range(len(positions)))
+    best = min(
+        _batch_latency(head, positions, list(order))
+        for order in permutations(range(len(positions)))
+    )
+    assert _batch_latency(head, positions, dp_order) == pytest.approx(best)
+
+
+@given(head=HEADS, positions=POSITIONS)
+@settings(max_examples=100, deadline=None)
+def test_ltsp_above_cutoff_falls_back_to_nearest(
+    head: float, positions: List[float]
+) -> None:
+    capped = LtspSequencer(dp_cutoff=0)
+    assert capped.plan(head, positions) == NearestSequencer().plan(
+        head, positions
+    )
+
+
+def test_registry_rejects_unknown_names() -> None:
+    with pytest.raises(ConfigurationError):
+        make_sequencer("zigzag")
+
+
+def test_registry_contains_the_documented_families() -> None:
+    assert {"fifo", "nearest", "scan", "ltsp"} <= set(sequencer_names())
